@@ -1,0 +1,51 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one figure/table of the paper and prints a
+paper-vs-measured comparison.  By default traces are CTA-capped and a
+representative layer subset is used so the whole suite runs in a few
+minutes; set ``REPRO_BENCH_FULL=1`` to sweep all 22 Table I layers
+with untruncated traces (tens of minutes — what EXPERIMENTS.md used).
+"""
+
+import os
+
+import pytest
+
+from repro.conv.workloads import ALL_LAYERS, get_layer
+from repro.gpu.config import SimulationOptions
+from repro.gpu.simulator import clear_trace_cache
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Representative quick subset: one duplication-heavy layer per
+#: network plus one dup-free layer (same-address reuse only).
+QUICK_LAYERS = [
+    ("resnet", "C2"),
+    ("resnet", "C8"),
+    ("gan", "TC3"),
+    ("gan", "C2"),
+    ("yolo", "C2"),
+]
+
+
+@pytest.fixture(scope="session")
+def bench_layers():
+    if FULL:
+        return list(ALL_LAYERS)
+    return [get_layer(net, name) for net, name in QUICK_LAYERS]
+
+
+@pytest.fixture(scope="session")
+def bench_options():
+    return SimulationOptions() if FULL else SimulationOptions(max_ctas=3)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_trace_cache():
+    yield
+    clear_trace_cache()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""Ablation: programming the detection unit for backward convolutions.
+
+Figure 14's training gain (8.3% vs 22.7% for inference) is diluted
+because only the forward convolutions are accelerated.  The data
+gradient, however, *is* a convolution with its own lowered workspace
+(``data_gradient_spec``) — this bench asks what Duplo recovers when
+the compiler also programs dgrad kernels (a natural extension the
+paper leaves open).
+"""
+
+from repro.analysis.network import network_time
+from repro.analysis.report import format_table
+from repro.gpu.simulator import EliminationMode
+
+from benchmarks.conftest import FULL, run_once
+
+
+def test_accelerated_backward(benchmark, bench_layers, bench_options):
+    def sweep():
+        base = network_time(
+            "mixed", EliminationMode.BASELINE, layers=bench_layers,
+            options=bench_options,
+        )
+        plain = network_time(
+            "mixed", EliminationMode.DUPLO, layers=bench_layers,
+            options=bench_options,
+        )
+        accel = network_time(
+            "mixed", EliminationMode.DUPLO, layers=bench_layers,
+            options=bench_options, accelerate_backward=True,
+        )
+        return base, plain, accel
+
+    base, plain, accel = run_once(benchmark, sweep)
+    rows = [
+        {
+            "config": "forward-only Duplo (paper)",
+            "training_reduction": plain.training_reduction(base),
+        },
+        {
+            "config": "+ dgrad acceleration",
+            "training_reduction": accel.training_reduction(base),
+        },
+    ]
+    print("\n" + format_table(rows))
+    assert accel.training_reduction(base) >= plain.training_reduction(base)
+    # Inference is untouched by the backward flag.
+    assert accel.inference_reduction(base) == plain.inference_reduction(base)

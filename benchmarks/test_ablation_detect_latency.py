@@ -1,0 +1,32 @@
+"""Ablation (Section IV-A): detection-unit latency sensitivity.
+
+Paper: assuming three cycles instead of two for the ID generator +
+LHB path costs only ~0.9% performance across the Table I networks.
+"""
+
+import dataclasses
+
+from repro.gpu.simulator import EliminationMode, simulate_layer
+from repro.gpu.stats import geometric_mean
+
+from benchmarks.conftest import run_once
+
+
+def test_three_cycle_detection_unit(benchmark, bench_layers, bench_options):
+    def sweep():
+        ratios = []
+        for spec in bench_layers:
+            fast = simulate_layer(spec, options=bench_options)
+            slow_options = dataclasses.replace(
+                bench_options, detection_latency=3
+            )
+            slow = simulate_layer(spec, options=slow_options)
+            ratios.append(slow.cycles / fast.cycles)
+        return ratios
+
+    ratios = run_once(benchmark, sweep)
+    degradation = geometric_mean(ratios) - 1
+    print(f"\n3-cycle detection unit degradation: {degradation:+.2%} "
+          f"(paper: ~0.9%)")
+    assert degradation >= 0
+    assert degradation < 0.03, "detection latency should be nearly free"

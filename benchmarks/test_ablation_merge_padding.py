@@ -1,0 +1,45 @@
+"""Ablation: merging padding zeros into one LHB identity.
+
+The workspace materialises the zero padding ring; every such entry
+holds the same value (0.0), but the paper's scheme — and our
+conservative default — keeps padding positions distinct.  This bench
+measures what a padding-aware ID scheme (all padding -> one ID) adds:
+an upper bound on the "free" elimination the paper leaves unclaimed.
+"""
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.gpu.simulator import simulate_layer
+
+from benchmarks.conftest import run_once
+
+
+def test_merge_padding_gain(benchmark, bench_layers, bench_options):
+    def sweep():
+        rows = []
+        for spec in bench_layers:
+            plain = simulate_layer(spec, options=bench_options)
+            merged = simulate_layer(
+                spec,
+                options=dataclasses.replace(bench_options, merge_padding=True),
+            )
+            rows.append(
+                {
+                    "layer": spec.qualified_name,
+                    "pad": spec.pad,
+                    "plain_hit": plain.stats.lhb_hit_rate,
+                    "merged_hit": merged.stats.lhb_hit_rate,
+                    "extra_hits": merged.stats.lhb_hits - plain.stats.lhb_hits,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_table(rows))
+    for r in rows:
+        # Merging identities can only add hits.
+        assert r["merged_hit"] >= r["plain_hit"] - 1e-9
+        # Unpadded layers are untouched.
+        if r["pad"] == 0:
+            assert r["extra_hits"] == 0

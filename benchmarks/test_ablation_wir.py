@@ -1,0 +1,50 @@
+"""Ablation (Section V-B): Duplo vs. WIR-style same-address reuse.
+
+The paper distinguishes Duplo from Kim et al.'s warp instruction
+reuse: WIR can only eliminate loads whose *addresses* match, while
+Duplo's ID mechanism also catches duplicates at different addresses.
+This bench quantifies the cross-address share of the elimination.
+"""
+
+from repro.gpu.simulator import EliminationMode, simulate_layer
+from repro.analysis.report import format_table
+from repro.gpu.stats import geometric_mean
+
+from benchmarks.conftest import run_once
+
+
+def test_duplo_vs_wir(benchmark, bench_layers, bench_options):
+    def sweep():
+        rows = []
+        for spec in bench_layers:
+            base = simulate_layer(
+                spec, EliminationMode.BASELINE, options=bench_options
+            )
+            wir = simulate_layer(
+                spec, EliminationMode.WIR, options=bench_options
+            )
+            duplo = simulate_layer(
+                spec, EliminationMode.DUPLO, options=bench_options
+            )
+            rows.append(
+                {
+                    "layer": spec.qualified_name,
+                    "wir_improvement": wir.speedup_over(base) - 1,
+                    "duplo_improvement": duplo.speedup_over(base) - 1,
+                    "wir_elim": wir.stats.elimination_rate,
+                    "duplo_elim": duplo.stats.elimination_rate,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_table(rows))
+    gmean_wir = geometric_mean([1 + r["wir_improvement"] for r in rows]) - 1
+    gmean_duplo = geometric_mean([1 + r["duplo_improvement"] for r in rows]) - 1
+    print(f"gmean: WIR {gmean_wir:+.1%}  Duplo {gmean_duplo:+.1%}")
+    # Duplo subsumes same-address reuse and adds cross-address
+    # duplicates on every duplication-bearing layer.
+    assert gmean_duplo >= gmean_wir - 1e-9
+    assert any(
+        r["duplo_improvement"] > r["wir_improvement"] + 0.01 for r in rows
+    ), "no layer showed Duplo's cross-address advantage"

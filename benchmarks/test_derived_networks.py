@@ -1,0 +1,53 @@
+"""Extension: derived networks (VGG16 / DiscoGAN / FCN).
+
+Table I's caption says other networks derive from its layer shapes;
+this bench extends Figure 14's per-network view to the three it names
+and checks the improvements land in the Table I band.
+"""
+
+from repro.analysis.report import format_table
+from repro.conv.zoo import discogan_generator, fcn_head, vgg16
+from repro.gpu.simulator import EliminationMode, simulate_layer
+from repro.gpu.stats import geometric_mean
+
+from benchmarks.conftest import FULL, run_once
+
+
+def test_derived_network_improvements(benchmark, bench_options):
+    networks = {
+        "vgg16": vgg16(batch=8, resolution=224 if FULL else 64),
+        "discogan": discogan_generator(batch=8, resolution=64),
+        "fcn": fcn_head(batch=8, spatial=14),
+    }
+
+    def sweep():
+        rows = []
+        for name, net in networks.items():
+            speedups = []
+            hits = []
+            for spec in net.conv_specs():
+                base = simulate_layer(
+                    spec, EliminationMode.BASELINE, options=bench_options
+                )
+                duplo = simulate_layer(spec, options=bench_options)
+                speedups.append(duplo.speedup_over(base))
+                hits.append(duplo.stats.lhb_hit_rate)
+            rows.append(
+                {
+                    "network": name,
+                    "layers": len(speedups),
+                    "gmean_improvement": geometric_mean(speedups) - 1,
+                    "mean_hit": sum(hits) / len(hits),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_table(rows))
+    by_net = {r["network"]: r for r in rows}
+    # VGG is wall-to-wall 3x3/pad-1 — the most Duplo-friendly shape.
+    assert by_net["vgg16"]["gmean_improvement"] > 0.05
+    # Every derived network improves; none regresses.
+    assert all(r["gmean_improvement"] >= 0 for r in rows)
+    # Hit rates stay in the regime the Table I layers established.
+    assert all(0.3 < r["mean_hit"] < 1.0 for r in rows)

@@ -1,0 +1,29 @@
+"""Figure 9: Duplo performance improvement with variable-sized LHBs.
+
+Regenerates the per-layer improvement bars for 256/512/1024/2048-entry
+and oracle LHBs (paper: oracle +25.9% gmean, 1024-entry +22.1%, 2048
+within 1.8% of oracle).
+"""
+
+from repro.analysis.experiments import figure9
+from repro.analysis.report import format_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_figure9_lhb_size_sweep(benchmark, bench_layers, bench_options):
+    exp = run_once(
+        benchmark, lambda: figure9(bench_layers, bench_options)
+    )
+    print("\n" + format_experiment(exp, max_rows=25))
+    s = exp.summary
+    # Bigger buffers help monotonically, oracle on top (Figure 9's shape).
+    order = ["256-entry", "512-entry", "1024-entry", "2048-entry", "oracle"]
+    gains = [s[f"gmean_{p}"] for p in order]
+    assert all(b >= a - 1e-9 for a, b in zip(gains, gains[1:]))
+    # Every configuration improves on the baseline.
+    assert gains[0] >= 0
+    # The paper-scale effect: the default LHB lands in the tens of
+    # percent, the oracle above it.
+    assert 0.02 <= s["gmean_1024-entry"]
+    assert s["gmean_oracle"] >= s["gmean_1024-entry"]

@@ -1,0 +1,28 @@
+"""Figure 11: breakdown of data services along the memory hierarchy.
+
+Paper: with the 1024-entry LHB, Duplo reduces DRAM traffic by 26.6%
+on average and shifts a large share of request service from the
+memory hierarchy into LHB register renaming.
+"""
+
+from repro.analysis.experiments import figure11
+from repro.analysis.report import format_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_figure11_service_breakdown(benchmark, bench_layers, bench_options):
+    exp = run_once(
+        benchmark, lambda: figure11(bench_layers, options=bench_options)
+    )
+    print("\n" + format_experiment(exp))
+    for row in exp.rows:
+        # Baselines never serve from the LHB; Duplo always does.
+        assert row["baseline"]["lhb"] == 0.0
+        assert row["duplo"]["lhb"] > 0.0
+        # Stacked fractions are normalised.
+        assert abs(sum(row["duplo"].values()) - 1.0) < 1e-9
+    s = exp.summary
+    # Duplo must cut L1 service share and not increase DRAM traffic.
+    assert s["mean_l1_service_reduction"] > 0
+    assert s["mean_dram_traffic_reduction"] >= 0

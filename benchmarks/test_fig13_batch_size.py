@@ -1,0 +1,26 @@
+"""Figure 13: performance implications of variable-sized batches.
+
+Paper: growing the batch from 8 to 32 images enlarges the workspace
+without creating any cross-image duplication, costing the fixed
+1024-entry LHB 8.2% of its improvement on average — with layers whose
+workspace the LHB still covers bucking the trend.
+"""
+
+from repro.analysis.experiments import figure13
+from repro.analysis.report import format_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_figure13_batch_sizes(benchmark, bench_layers, bench_options):
+    exp = run_once(
+        benchmark, lambda: figure13(bench_layers, bench_options)
+    )
+    print("\n" + format_experiment(exp, max_rows=25))
+    s = exp.summary
+    # All batch sizes still improve over their own baseline.
+    assert s["gmean_batch8"] >= 0
+    assert s["gmean_batch32"] >= 0
+    # The headline trend: batch 32 keeps at most what batch 8 delivers
+    # (no cross-image duplication to mine from the extra workspace).
+    assert s["gmean_batch32"] <= s["gmean_batch8"] + 0.05

@@ -1,0 +1,25 @@
+"""Figure 14: network-level execution time, inference and training.
+
+Paper: Duplo reduces DNN execution time by 22.7% (inference) and 8.3%
+(training) on average — training dilutes the gain because the
+backward GEMMs carry no programmed workspace duplication.
+"""
+
+from repro.analysis.experiments import figure14
+from repro.analysis.report import format_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_figure14_network_time(benchmark, bench_options):
+    exp = run_once(benchmark, lambda: figure14(options=bench_options))
+    print("\n" + format_experiment(exp))
+    s = exp.summary
+    assert 0 < s["gmean_inference_reduction"] < 1
+    assert 0 <= s["gmean_training_reduction"] < s["gmean_inference_reduction"]
+    # The dilution ratio of one accelerated pass in three:
+    ratio = s["gmean_training_reduction"] / s["gmean_inference_reduction"]
+    assert 0.2 < ratio < 0.5  # paper: 8.3 / 22.7 = 0.37
+    for row in exp.rows:
+        assert row["norm_inference_time"] <= 1.0
+        assert row["norm_training_time"] <= 1.0

@@ -1,0 +1,35 @@
+"""Section V-H: energy and area overhead.
+
+Paper: considering on-chip components only (register file, caches,
+detection unit), Duplo saves 34.1% of energy at 0.77% of the register
+file's area.
+"""
+
+from repro.analysis.experiments import energy_area
+from repro.analysis.report import format_experiment
+from repro.energy.model import DEFAULT_AREA
+
+from benchmarks.conftest import run_once
+
+
+def test_energy_and_area(benchmark, bench_layers, bench_options):
+    exp = run_once(
+        benchmark, lambda: energy_area(bench_layers, options=bench_options)
+    )
+    print("\n" + format_experiment(exp))
+    s = exp.summary
+    # Energy goes down, never up, for every layer.
+    assert all(row["on_chip_reduction"] >= 0 for row in exp.rows)
+    assert 0 < s["on_chip_energy_reduction"] < 0.6
+    # Area overhead is sub-percent (paper: 0.77%).
+    assert s["area_overhead"] < 0.01
+
+
+def test_area_scaling(benchmark):
+    overheads = run_once(
+        benchmark,
+        lambda: {n: DEFAULT_AREA.area_overhead(n) for n in (256, 1024, 2048)},
+    )
+    print("\nLHB area overhead vs. register file:", overheads)
+    assert overheads[256] < overheads[1024] < overheads[2048]
+    assert overheads[1024] < 0.01

@@ -1,0 +1,25 @@
+"""Table II: the Duplo workflow example, replayed on real hardware
+models (detection unit + LHB + renaming) instead of by hand."""
+
+from repro.analysis.experiments import table2
+from repro.analysis.report import format_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_workflow(benchmark):
+    exp = run_once(benchmark, table2)
+    print("\n" + format_experiment(exp))
+    statuses = [r["lhb"] for r in exp.rows]
+    operations = [r["operation"] for r in exp.rows]
+    # The table's exact four-row script.
+    assert statuses == ["miss", "bypass", "hit", "miss"]
+    assert operations == [
+        "entry allocation",
+        "N/A",
+        "register reuse",
+        "entry replacement",
+    ]
+    assert [r["element_id"] for r in exp.rows] == [2, None, 2, 6]
+    # The hit renames onto the first load's physical register.
+    assert exp.rows[2]["phys_reg"] == exp.rows[0]["phys_reg"]

@@ -1,0 +1,80 @@
+"""Explicit vs. implicit GEMM, with and without Duplo (Secs II-C, V-D).
+
+Four configurations per layer:
+
+* explicit workspace, baseline — the paper's evaluation baseline;
+* explicit + Duplo — the paper's headline result;
+* implicit (cuDNN-style shared-memory staging), baseline — less
+  global traffic but one CTA per SM;
+* implicit + Duplo — the paper's Section V-D remark: shared-memory
+  accesses become register renaming.
+
+Run:  python examples/implicit_vs_explicit.py [--full]
+"""
+
+import sys
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.report import format_table
+from repro.conv.workloads import get_layer
+from repro.gpu.config import BASELINE_KERNEL, IMPLICIT_KERNEL, SimulationOptions
+from repro.gpu.simulator import EliminationMode, simulate_layer
+
+
+def main() -> None:
+    options = (
+        SimulationOptions()
+        if "--full" in sys.argv
+        else SimulationOptions(max_ctas=2)
+    )
+    layers = [
+        get_layer("resnet", "C2"),
+        get_layer("yolo", "C2"),
+        get_layer("gan", "C2"),
+    ]
+    rows = []
+    for spec in layers:
+        results = {}
+        for kname, kernel in (("explicit", BASELINE_KERNEL),
+                              ("implicit", IMPLICIT_KERNEL)):
+            base = simulate_layer(
+                spec, EliminationMode.BASELINE, kernel=kernel, options=options
+            )
+            duplo = simulate_layer(spec, kernel=kernel, options=options)
+            results[kname] = (base, duplo)
+        exp_base, exp_duplo = results["explicit"]
+        imp_base, imp_duplo = results["implicit"]
+        rows.append(
+            {
+                "layer": spec.qualified_name,
+                "explicit_dram_MiB": exp_base.stats.dram_read_bytes / 2**20,
+                "implicit_dram_MiB": imp_base.stats.dram_read_bytes / 2**20,
+                "duplo_on_explicit": exp_duplo.speedup_over(exp_base) - 1,
+                "duplo_on_implicit": imp_duplo.speedup_over(imp_base) - 1,
+                "shared_loads_saved": 1
+                - imp_duplo.stats.shared_accesses
+                / max(imp_base.stats.shared_accesses, 1),
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\nImplicit GEMM already deduplicates *global* traffic (it"
+        " fetches only the unexpanded input), so Duplo's win there is"
+        " the cheaper one the paper describes: shared-memory accesses"
+        " turned into register renaming.\n"
+    )
+    print(bar_chart(
+        {
+            f"{r['layer']} explicit": r["duplo_on_explicit"]
+            for r in rows
+        } | {
+            f"{r['layer']} implicit": r["duplo_on_implicit"]
+            for r in rows
+        },
+        width=32,
+        title="Duplo improvement by kernel style",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Two kernels, one LHB: the PID tag at work (Section IV-B).
+
+The LHB tag carries a process ID so concurrent kernels time-sliced
+onto an SM cannot alias each other's workspace elements.  This script
+runs two convolution kernels' load streams through one shared LHB and
+shows (a) isolation — identical layers never cross-hit — and (b)
+contention — the finite buffer splits between the two working sets.
+
+Run:  python examples/multikernel_sharing.py
+"""
+
+from repro.analysis.report import format_table
+from repro.conv.workloads import get_layer
+from repro.gpu.config import KernelConfig, SimulationOptions
+from repro.gpu.multikernel import contention_report, simulate_shared_lhb
+
+
+def main() -> None:
+    options = SimulationOptions(max_ctas=2)
+    kernel = KernelConfig(warp_runahead=8)
+    specs = [get_layer("resnet", "C8"), get_layer("gan", "C4")]
+
+    print("Isolation: two copies of the same kernel, shared LHB")
+    same = simulate_shared_lhb(
+        [get_layer("resnet", "C8")] * 2, lhb_entries=None,
+        kernel=kernel, options=options,
+    )
+    solo = simulate_shared_lhb(
+        [get_layer("resnet", "C8")], lhb_entries=None,
+        kernel=kernel, options=options,
+    )[0]
+    print(
+        f"  solo hits {solo.hits}; shared-run hits per kernel: "
+        f"{[s.hits for s in same]} — identical, because the PID keeps "
+        f"their identical element IDs apart.\n"
+    )
+
+    print("Contention: two different kernels on one 1024-entry LHB")
+    report = contention_report(
+        specs, lhb_entries=1024, kernel=kernel, options=options, chunk=128
+    )
+    rows = [
+        {"kernel": name, **{k: v for k, v in stats.items()}}
+        for name, stats in report.items()
+    ]
+    print(format_table(rows))
+    print(
+        "\nEach kernel keeps most of its solo hit rate — short-distance"
+        " reuse survives interleaving — and the loss is the price of"
+        " backing two working sets with one buffer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Figure 7 at cycle granularity: the pipeline walk-through.
+
+Runs the Table II instruction sequence (plus MMA consumers) through
+the cycle-stepped SM pipeline demonstrator twice — detection unit
+power-gated vs. programmed — and prints the cycle-by-cycle difference:
+the duplicate load's dependent MMA wakes after the 2-cycle detection
+path instead of an L1 round-trip.
+
+Also demonstrates the warp-to-warp sharing a compiler cannot express
+(Section IV-D): warp 1 consumes a value warp 0 loaded.
+
+Run:  python examples/pipeline_walkthrough.py
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.table2 import TOY_SPEC, WORKSPACE_BASE
+from repro.core.compiler import build_convolution_info
+from repro.core.detection import DetectionUnit
+from repro.core.idgen import IDMode
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.pipeline import Instruction, Op, SMPipeline, Warp
+
+
+def addr(array_idx: int) -> int:
+    return WORKSPACE_BASE + array_idx * 2
+
+
+def table2_program():
+    """Table II's loads, each feeding an MMA (so latency is visible)."""
+    return [
+        Instruction(Op.LOAD, dest=4, address=addr(2)),   # load.a %r4
+        Instruction(Op.LOAD, dest=2, address=0xDEAD0000),  # load.b %r2
+        Instruction(Op.MMA, dest=10, srcs=(4, 2)),
+        Instruction(Op.LOAD, dest=3, address=addr(10)),  # duplicate!
+        Instruction(Op.MMA, dest=11, srcs=(3, 2)),
+        Instruction(Op.LOAD, dest=8, address=addr(28)),  # conflict miss
+        Instruction(Op.MMA, dest=12, srcs=(8, 2)),
+    ]
+
+
+def detection_unit():
+    unit = DetectionUnit(
+        lhb=LoadHistoryBuffer(num_entries=4, lifetime=None, hashed_index=False),
+        id_mode=IDMode.PAPER,
+    )
+    unit.program(TOY_SPEC, build_convolution_info(TOY_SPEC, WORKSPACE_BASE, lda=9))
+    return unit
+
+
+def main() -> None:
+    baseline = SMPipeline([Warp(0, table2_program())]).run()
+    duplo = SMPipeline(
+        [Warp(0, table2_program())], detection=detection_unit()
+    ).run()
+
+    rows = [
+        {
+            "config": "baseline",
+            "cycles": baseline.cycles,
+            "memory_loads": baseline.memory_loads,
+            "eliminated": baseline.eliminated_loads,
+            "stalls": baseline.scoreboard_stalls,
+        },
+        {
+            "config": "duplo",
+            "cycles": duplo.cycles,
+            "memory_loads": duplo.memory_loads,
+            "eliminated": duplo.eliminated_loads,
+            "stalls": duplo.scoreboard_stalls,
+        },
+    ]
+    print("Table II program through the Figure 7 pipeline:")
+    print(format_table(rows))
+    saved = baseline.cycles - duplo.cycles
+    print(
+        f"\nThe duplicate load's MMA woke {saved} cycles earlier: the "
+        f"2-cycle detection path replaced a 28-cycle L1 round-trip.\n"
+    )
+
+    print("Warp-to-warp value sharing (impossible for a compiler):")
+    w0 = Warp(0, [Instruction(Op.LOAD, dest=4, address=addr(2)),
+                  Instruction(Op.MMA, dest=5, srcs=(4,))])
+    w1 = Warp(1, [Instruction(Op.LOAD, dest=4, address=addr(10)),
+                  Instruction(Op.MMA, dest=5, srcs=(4,))])
+    stats = SMPipeline([w0, w1], detection=detection_unit()).run()
+    print(
+        f"  warp 1's load of a different address was eliminated "
+        f"({stats.eliminated_loads} elimination, "
+        f"{stats.memory_loads} memory load) — the LHB knew warp 0's "
+        f"register already held the value."
+    )
+
+
+if __name__ == "__main__":
+    main()

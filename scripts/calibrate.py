@@ -1,0 +1,61 @@
+"""Calibration sweep: compare model outputs to the paper's headlines.
+
+Run:  python scripts/calibrate.py [granularity] [lifetime]
+
+Prints per-layer LHB hit rates and performance improvements for the
+Figure 9/10 LHB-size sweep, plus gmeans and DRAM traffic deltas, so
+timing/lifetime constants can be tuned against the paper's targets:
+oracle hit ~76%, oracle improvement +25.9%, 1024-entry +22.1%,
+DRAM traffic -26.6% at 1024 entries.
+"""
+
+import sys
+import time
+
+from repro import ALL_LAYERS
+from repro.gpu.config import SimulationOptions
+from repro.gpu.simulator import EliminationMode, simulate_layer
+from repro.gpu.stats import geometric_mean
+
+granularity = sys.argv[1] if len(sys.argv) > 1 else "fragment"
+lifetime = int(sys.argv[2]) if len(sys.argv) > 2 else 8192
+max_ctas = int(sys.argv[3]) if len(sys.argv) > 3 else 0
+options = SimulationOptions(
+    lhb_granularity=granularity,
+    lhb_lifetime=lifetime,
+    max_ctas=max_ctas or None,
+)
+
+SIZES = [256, 512, 1024, 2048, None]
+speedups = {s: [] for s in SIZES}
+hits = {s: [] for s in SIZES}
+dram_delta = []
+t0 = time.time()
+for spec in ALL_LAYERS:
+    base = simulate_layer(spec, EliminationMode.BASELINE, options=options)
+    row = [f"{spec.qualified_name:10s}"]
+    for size in SIZES:
+        r = simulate_layer(spec, lhb_entries=size, options=options)
+        imp = r.speedup_over(base) - 1
+        speedups[size].append(1 + imp)
+        hits[size].append(r.stats.lhb_hit_rate)
+        row.append(f"{size if size else 'ora'}:{r.stats.lhb_hit_rate:.2f}/{imp:+.2f}")
+        if size == 1024:
+            dram_delta.append(
+                1 - r.stats.dram_read_bytes / max(base.stats.dram_read_bytes, 1)
+            )
+            limit = r.stats.theoretical_hit_limit
+    row.append(f"lim={limit:.2f} dram-{dram_delta[-1]:.0%}")
+    print("  ".join(row), flush=True)
+
+print(f"\n=== granularity={granularity} lifetime={lifetime} "
+      f"({time.time()-t0:.0f}s) ===")
+for size in SIZES:
+    label = size if size else "oracle"
+    print(
+        f"  {label}: gmean improvement "
+        f"{geometric_mean(speedups[size]) - 1:+.3f}, "
+        f"mean hit {sum(hits[size])/len(hits[size]):.3f}"
+    )
+print(f"  mean DRAM read reduction @1024: {sum(dram_delta)/len(dram_delta):.1%}")
+print("  paper: oracle +25.9%, 1024 +22.1%, oracle hit ~76%, DRAM -26.6%")

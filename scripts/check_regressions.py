@@ -1,0 +1,97 @@
+"""Headline-metric regression guard.
+
+Computes the quick-mode headline metrics (the benchmark subset:
+1024-entry and oracle gmean improvements, mean hit rates, DRAM
+reduction, on-chip energy saving) and compares them against a stored
+baseline with tolerances.  First run writes the baseline;
+``--update`` refreshes it deliberately.
+
+Run:  python scripts/check_regressions.py [--update]
+Exit: 0 when within tolerance, 1 on regression.
+"""
+
+import json
+import os
+import sys
+
+from repro.conv.workloads import get_layer
+from repro.energy.model import DEFAULT_ENERGY, on_chip_energy_reduction
+from repro.gpu.config import SimulationOptions
+from repro.gpu.simulator import EliminationMode, simulate_layer
+from repro.gpu.stats import geometric_mean
+
+BASELINE_PATH = os.path.join("results", "baseline_metrics.json")
+TOLERANCE = 0.02  # absolute, on fraction-valued metrics
+
+LAYERS = [
+    ("resnet", "C2"),
+    ("resnet", "C8"),
+    ("gan", "TC3"),
+    ("gan", "C2"),
+    ("yolo", "C2"),
+]
+
+
+def compute_metrics() -> dict:
+    options = SimulationOptions(max_ctas=3)
+    imp_1024, imp_oracle, hits, dram = [], [], [], []
+    energy_base = energy_duplo = None
+    for net, name in LAYERS:
+        spec = get_layer(net, name)
+        base = simulate_layer(spec, EliminationMode.BASELINE, options=options)
+        d1024 = simulate_layer(spec, lhb_entries=1024, options=options)
+        oracle = simulate_layer(spec, lhb_entries=None, options=options)
+        imp_1024.append(d1024.speedup_over(base))
+        imp_oracle.append(oracle.speedup_over(base))
+        hits.append(d1024.stats.lhb_hit_rate)
+        dram.append(
+            1 - d1024.stats.dram_read_bytes / max(base.stats.dram_read_bytes, 1)
+        )
+        eb = DEFAULT_ENERGY.breakdown(base.stats)
+        ed = DEFAULT_ENERGY.breakdown(d1024.stats)
+        energy_base = eb if energy_base is None else energy_base.merge(eb)
+        energy_duplo = ed if energy_duplo is None else energy_duplo.merge(ed)
+    return {
+        "gmean_improvement_1024": geometric_mean(imp_1024) - 1,
+        "gmean_improvement_oracle": geometric_mean(imp_oracle) - 1,
+        "mean_hit_rate_1024": sum(hits) / len(hits),
+        "mean_dram_reduction_1024": sum(dram) / len(dram),
+        "on_chip_energy_reduction": on_chip_energy_reduction(
+            energy_base, energy_duplo
+        ),
+    }
+
+
+def main() -> int:
+    metrics = compute_metrics()
+    os.makedirs("results", exist_ok=True)
+    if "--update" in sys.argv or not os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, "w") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+        print(f"baseline written to {BASELINE_PATH}:")
+        for key, value in metrics.items():
+            print(f"  {key:32s} {value:+.4f}")
+        return 0
+
+    with open(BASELINE_PATH) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for key, expected in baseline.items():
+        got = metrics.get(key)
+        status = "ok"
+        if got is None or abs(got - expected) > TOLERANCE:
+            status = "REGRESSION"
+            failures.append(key)
+        print(
+            f"  {key:32s} baseline {expected:+.4f}  now "
+            f"{got:+.4f}  [{status}]"
+        )
+    if failures:
+        print(f"\n{len(failures)} metric(s) outside ±{TOLERANCE}: {failures}")
+        return 1
+    print("\nall headline metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Sensitivity of the headline results to the calibrated constants.
+
+EXPERIMENTS.md freezes four calibrated constants (timing overlap, warp
+run-ahead, LHB lifetime, RF cell-area ratio).  This script perturbs
+each and reports how the two headline metrics move — the oracle and
+1024-entry gmean improvements over a representative layer subset — so
+a reviewer can judge how much of the reproduction is measurement and
+how much is calibration.
+
+Run:  python scripts/sensitivity.py [--full]
+"""
+
+import dataclasses
+import sys
+
+from repro.conv.workloads import ALL_LAYERS, get_layer
+from repro.gpu.config import KernelConfig, SimulationOptions
+from repro.gpu.simulator import (
+    EliminationMode,
+    clear_trace_cache,
+    simulate_layer,
+)
+from repro.gpu.stats import geometric_mean
+from repro.gpu.timing import TimingModel
+
+
+def gmeans(layers, options, kernel, timing=None):
+    imp = {1024: [], None: []}
+    for spec in layers:
+        base = simulate_layer(
+            spec, EliminationMode.BASELINE, kernel=kernel, options=options,
+            timing=timing,
+        )
+        for entries in imp:
+            r = simulate_layer(
+                spec, lhb_entries=entries, kernel=kernel, options=options,
+                timing=timing,
+            )
+            imp[entries].append(r.cycles and base.cycles / r.cycles)
+    return {k: geometric_mean(v) - 1 for k, v in imp.items()}
+
+
+def main() -> None:
+    if "--full" in sys.argv:
+        layers = ALL_LAYERS
+        options = SimulationOptions()
+    else:
+        layers = [
+            get_layer("resnet", "C2"),
+            get_layer("gan", "TC3"),
+            get_layer("gan", "C2"),
+            get_layer("yolo", "C2"),
+            get_layer("yolo", "C5"),
+        ]
+        options = SimulationOptions(max_ctas=3)
+
+    base_kernel = KernelConfig()
+    print(f"{'configuration':40s} {'1024-entry':>10s} {'oracle':>10s}")
+
+    def report(label, options=options, kernel=base_kernel, timing=None):
+        clear_trace_cache()
+        g = gmeans(layers, options, kernel, timing)
+        print(f"{label:40s} {g[1024]:>+10.1%} {g[None]:>+10.1%}", flush=True)
+
+    report("defaults (calibrated)")
+    for overlap in (0.2, 0.5):
+        report(f"timing overlap = {overlap}", timing=TimingModel(overlap=overlap))
+    for runahead in (8, 16, 64):
+        report(
+            f"warp_runahead = {runahead}",
+            kernel=KernelConfig(warp_runahead=runahead),
+        )
+    for lifetime in (1024, 2048, 8192, None):
+        report(
+            f"lhb_lifetime = {lifetime}",
+            options=dataclasses.replace(options, lhb_lifetime=lifetime),
+        )
+    report(
+        "plain (unhashed) LHB index",
+        options=dataclasses.replace(options, lhb_hashed_index=False),
+    )
+    report(
+        "instruction-granular lookups",
+        options=dataclasses.replace(options, lhb_granularity="instruction"),
+    )
+
+
+if __name__ == "__main__":
+    main()

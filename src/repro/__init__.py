@@ -1,0 +1,63 @@
+"""repro — a Python reproduction of Duplo (MICRO 2020).
+
+Duplo is a GPU architecture that eliminates the redundant tensor-core
+load instructions created when convolutions are *lowered* into GEMM:
+an ID generator maps workspace addresses back to unique input elements,
+a load history buffer (LHB) remembers which warp register already holds
+each element, and warp register renaming replaces the duplicate load
+with a register alias.
+
+The package layers:
+
+* ``repro.conv`` — convolution substrate (Table I workloads, im2col
+  lowering, direct/GEMM/Winograd/FFT methods);
+* ``repro.core`` — the Duplo contribution (ID generation, LHB,
+  renaming, detection unit, compiler support);
+* ``repro.gpu`` — the GPU model (tensor-core GEMM kernel trace,
+  GTO scheduling, caches, DRAM, timing);
+* ``repro.energy`` — event-energy and area models;
+* ``repro.analysis`` — one harness per paper figure/table.
+
+Quickstart::
+
+    from repro import get_layer, simulate_layer
+    stats = simulate_layer(get_layer("resnet", "C2"), lhb_entries=1024)
+    print(stats.speedup_over_baseline, stats.lhb_hit_rate)
+"""
+
+from repro.conv import (
+    ALL_LAYERS,
+    ConvLayerSpec,
+    GAN_LAYERS,
+    RESNET_LAYERS,
+    TABLE_I,
+    YOLO_LAYERS,
+    get_layer,
+    layers_for_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvLayerSpec",
+    "ALL_LAYERS",
+    "RESNET_LAYERS",
+    "GAN_LAYERS",
+    "YOLO_LAYERS",
+    "TABLE_I",
+    "get_layer",
+    "layers_for_network",
+    "simulate_layer",
+    "__version__",
+]
+
+
+def simulate_layer(*args, **kwargs):
+    """Convenience wrapper around :func:`repro.gpu.simulator.simulate_layer`.
+
+    Imported lazily so ``import repro`` stays cheap for users who only
+    need the convolution substrate.
+    """
+    from repro.gpu.simulator import simulate_layer as _simulate_layer
+
+    return _simulate_layer(*args, **kwargs)

@@ -1,0 +1,33 @@
+"""Evaluation harness: one entry point per paper figure/table.
+
+``repro.analysis.experiments`` exposes ``figure2()`` .. ``figure14()``,
+``table2()``, and ``energy_area()``; each returns the rows/series the
+corresponding figure or table in the paper plots, computed from this
+package's models.  ``repro.analysis.report`` renders them as text.
+"""
+
+from repro.analysis.experiments import (
+    figure2,
+    figure3,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    table2,
+    energy_area,
+)
+
+__all__ = [
+    "figure2",
+    "figure3",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "table2",
+    "energy_area",
+]

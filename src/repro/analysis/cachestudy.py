@@ -1,0 +1,87 @@
+"""Cache-scaling study (Section V-D).
+
+The paper's counterfactual: "Even if the caches are increased to
+512 KB L1 (16x larger than the baseline) and 18 MB L2 (4x greater),
+they produce only 1.8% performance speedup.  It implies that simply
+increasing the cache sizes is not a proper solution to accelerate the
+DNNs."  This module reruns the baseline under scaled cache
+configurations and compares the gain against Duplo's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.workloads import ALL_LAYERS
+from repro.gpu.config import (
+    BASELINE_KERNEL,
+    GPUConfig,
+    KernelConfig,
+    SimulationOptions,
+    TITAN_V,
+)
+from repro.gpu.simulator import EliminationMode, simulate_layer
+from repro.gpu.stats import geometric_mean
+
+
+@dataclass(frozen=True)
+class CacheScalingResult:
+    """Gmean improvements of cache scaling vs. Duplo."""
+
+    rows: List[dict]
+    bigger_caches_gain: float
+    duplo_gain: float
+
+    @property
+    def caches_are_not_the_answer(self) -> bool:
+        """The paper's Section V-D conclusion."""
+        return self.duplo_gain > self.bigger_caches_gain
+
+
+def cache_scaling_study(
+    layers: Optional[Sequence[ConvLayerSpec]] = None,
+    l1_factor: float = 16.0,
+    l2_factor: float = 4.0,
+    lhb_entries: int = 1024,
+    options: SimulationOptions = SimulationOptions(),
+    kernel: KernelConfig = BASELINE_KERNEL,
+    gpu: GPUConfig = TITAN_V,
+) -> CacheScalingResult:
+    """Baseline vs. (16x L1, 4x L2) baseline vs. Duplo, per layer."""
+    layers = list(layers) if layers is not None else list(ALL_LAYERS)
+    big_gpu = gpu.scaled_l1(l1_factor).scaled_l2(l2_factor)
+
+    rows = []
+    cache_speedups = []
+    duplo_speedups = []
+    for spec in layers:
+        base = simulate_layer(
+            spec, EliminationMode.BASELINE, gpu=gpu, kernel=kernel,
+            options=options,
+        )
+        big = simulate_layer(
+            spec, EliminationMode.BASELINE, gpu=big_gpu, kernel=kernel,
+            options=options,
+        )
+        duplo = simulate_layer(
+            spec, EliminationMode.DUPLO, lhb_entries=lhb_entries, gpu=gpu,
+            kernel=kernel, options=options,
+        )
+        cache_gain = base.cycles / big.cycles
+        duplo_gain = base.cycles / duplo.cycles
+        cache_speedups.append(cache_gain)
+        duplo_speedups.append(duplo_gain)
+        rows.append(
+            {
+                "layer": spec.qualified_name,
+                "bigger_caches": cache_gain - 1,
+                "duplo": duplo_gain - 1,
+            }
+        )
+    return CacheScalingResult(
+        rows=rows,
+        bigger_caches_gain=geometric_mean(cache_speedups) - 1,
+        duplo_gain=geometric_mean(duplo_speedups) - 1,
+    )

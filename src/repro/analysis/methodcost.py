@@ -1,0 +1,190 @@
+"""Roofline cost model for the convolution-method comparison (Figs 2-3).
+
+Figures 2 and 3 of the paper are *hardware measurements* on an RTX
+2080 Ti; per DESIGN.md we substitute an analytic roofline: each
+method's time is the max of its compute time (FLOPs over the peak of
+the unit it runs on, derated by a method-specific utilisation) and
+its memory time (bytes moved over DRAM bandwidth), plus transform
+passes where the method has them.  Utilisations are the calibrated
+constants (EXPERIMENTS.md records them against the paper's average
+speedups: GEMM 13.5x, Winograd 20.7x, FFT 11.5x, GEMM_TC 25.7x).
+
+Memory usage (Figure 3) is purely analytic from the footprint
+formulas of the ``repro.conv`` method modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.conv.fft_conv import fft_applicable, fft_flop_count, fft_workspace_bytes
+from repro.conv.gemm import (
+    direct_footprint,
+    explicit_gemm_footprint,
+    implicit_gemm_footprint,
+)
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.winograd import (
+    winograd_applicable,
+    winograd_mac_count,
+    winograd_workspace_bytes,
+)
+
+
+@dataclass(frozen=True)
+class MeasurementMachine:
+    """RTX 2080 Ti-class machine for the Figure 2/3 roofline."""
+
+    cuda_tflops_fp32: float = 13.4
+    tensor_tflops_fp16: float = 53.8  # fp16 with fp32 accumulate
+    dram_gbps: float = 616.0
+
+    @property
+    def cuda_flops(self) -> float:
+        return self.cuda_tflops_fp32 * 1e12
+
+    @property
+    def tensor_flops(self) -> float:
+        return self.tensor_tflops_fp16 * 1e12
+
+    @property
+    def dram_bps(self) -> float:
+        return self.dram_gbps * 1e9
+
+
+@dataclass(frozen=True)
+class MethodUtilisation:
+    """Calibrated fraction of peak each method sustains.
+
+    Direct convolution's tiny value is the point of the figure: its
+    uncoalesced, reuse-free inner loop keeps CUDA cores mostly idle;
+    the library GEMM/Winograd/FFT kernels run near their roofline.
+    """
+
+    direct: float = 0.045
+    gemm: float = 0.90
+    gemm_tc: float = 0.30
+    winograd: float = 0.55
+    winograd_tc: float = 0.30
+    fft: float = 0.55
+
+
+DEFAULT_MACHINE = MeasurementMachine()
+DEFAULT_UTILISATION = MethodUtilisation()
+
+
+def _roofline_seconds(flops: float, bytes_moved: float, peak_flops: float,
+                      machine: MeasurementMachine) -> float:
+    return max(flops / peak_flops, bytes_moved / machine.dram_bps)
+
+
+def method_time_seconds(
+    spec: ConvLayerSpec,
+    method: str,
+    machine: MeasurementMachine = DEFAULT_MACHINE,
+    util: MethodUtilisation = DEFAULT_UTILISATION,
+) -> Optional[float]:
+    """Modelled execution time of one method on one layer.
+
+    Returns ``None`` where the method is inapplicable (the missing
+    bars of Figures 2-3: Winograd/FFT on non-unit-stride or
+    unsupported-filter layers).
+    """
+    flops = spec.gemm_shape.flops
+
+    if method == "direct":
+        bytes_moved = direct_footprint(spec).total_bytes
+        return _roofline_seconds(
+            flops, bytes_moved, machine.cuda_flops * util.direct, machine
+        )
+
+    if method == "gemm":
+        # Lowering pass (write + read the workspace) plus the GEMM.
+        ws = explicit_gemm_footprint(spec)
+        lower_bytes = 2 * ws.workspace_bytes + ws.input_bytes
+        lower = lower_bytes / machine.dram_bps
+        gemm = _roofline_seconds(
+            flops, ws.total_bytes, machine.cuda_flops * util.gemm, machine
+        )
+        return lower + gemm
+
+    if method == "gemm_tc":
+        # Implicit GEMM: tiles expand through shared memory, no
+        # global workspace pass.
+        bytes_moved = implicit_gemm_footprint(spec).total_bytes
+        return _roofline_seconds(
+            flops, bytes_moved, machine.tensor_flops * util.gemm_tc, machine
+        )
+
+    if method in ("winograd", "winograd_tc"):
+        if not winograd_applicable(spec):
+            return None
+        macs = winograd_mac_count(spec)
+        bytes_moved = (
+            winograd_workspace_bytes(spec)
+            + direct_footprint(spec).total_bytes
+        )
+        peak = (
+            machine.tensor_flops * util.winograd_tc
+            if method == "winograd_tc"
+            else machine.cuda_flops * util.winograd
+        )
+        return _roofline_seconds(2 * macs, bytes_moved, peak, machine)
+
+    if method == "fft":
+        if not fft_applicable(spec):
+            return None
+        flops_fft = fft_flop_count(spec)
+        bytes_moved = (
+            fft_workspace_bytes(spec, library_allocation=False)
+            + direct_footprint(spec).total_bytes
+        )
+        return _roofline_seconds(
+            flops_fft, bytes_moved, machine.cuda_flops * util.fft, machine
+        )
+
+    raise KeyError(f"unknown method {method!r}")
+
+
+def method_speedup(
+    spec: ConvLayerSpec,
+    method: str,
+    machine: MeasurementMachine = DEFAULT_MACHINE,
+    util: MethodUtilisation = DEFAULT_UTILISATION,
+) -> Optional[float]:
+    """Speedup of ``method`` over direct convolution (Figure 2 bars)."""
+    t = method_time_seconds(spec, method, machine, util)
+    if t is None:
+        return None
+    t_direct = method_time_seconds(spec, "direct", machine, util)
+    return t_direct / t
+
+
+def method_memory_bytes(spec: ConvLayerSpec, method: str) -> Optional[int]:
+    """Memory footprint of one method (Figure 3 bars, absolute)."""
+    if method == "direct":
+        return direct_footprint(spec).total_bytes
+    if method == "gemm":
+        return explicit_gemm_footprint(spec).total_bytes
+    if method == "gemm_tc":
+        return implicit_gemm_footprint(spec).total_bytes
+    if method in ("winograd", "winograd_tc"):
+        if not winograd_applicable(spec):
+            return None
+        return winograd_workspace_bytes(spec) + direct_footprint(
+            spec
+        ).total_bytes
+    if method == "fft":
+        if not fft_applicable(spec):
+            return None
+        return fft_workspace_bytes(spec) + direct_footprint(spec).total_bytes
+    raise KeyError(f"unknown method {method!r}")
+
+
+def method_memory_ratio(spec: ConvLayerSpec, method: str) -> Optional[float]:
+    """Footprint relative to direct convolution (Figure 3 bars)."""
+    b = method_memory_bytes(spec, method)
+    if b is None:
+        return None
+    return b / direct_footprint(spec).total_bytes

@@ -1,0 +1,113 @@
+"""Network-level execution time (Figure 14).
+
+A DNN's execution time is modelled as the sum of its convolutional
+layers' times (the paper: pooling/softmax are "infinitesimally small"
+— carried here as a configurable epsilon):
+
+* **inference** — one forward pass; Duplo accelerates every lowered
+  convolution;
+* **training** — forward plus backward.  The backward pass runs two
+  GEMMs per layer: the *data gradient*, which is itself a convolution
+  (``repro.conv.gradients.data_gradient_spec``) and is simulated as
+  one, and the *weight gradient*, a (K x F x M) contraction with no
+  input-workspace duplication, charged at its baseline GEMM cost.
+  Duplo's detection unit is only programmed for the forward
+  convolutions (matching the paper's 8.3%-vs-22.7% asymmetry);
+  ``accelerate_backward=True`` is the what-if ablation where the
+  compiler also programs the data-gradient convolutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.conv.gradients import data_gradient_spec
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.workloads import TABLE_I
+from repro.gpu.config import BASELINE_KERNEL, KernelConfig, SimulationOptions
+from repro.gpu.simulator import EliminationMode, simulate_layer
+
+#: Fraction of network time in non-convolution layers (pooling,
+#: softmax, ...) — invisible in the paper's Figure 14.
+NON_CONV_EPSILON = 0.002
+
+
+@dataclass(frozen=True)
+class NetworkTime:
+    """Execution time of one network under one configuration."""
+
+    network: str
+    inference_cycles: float
+    training_cycles: float
+
+    def inference_reduction(self, baseline: "NetworkTime") -> float:
+        """Fractional execution-time reduction vs. a baseline run."""
+        return 1.0 - self.inference_cycles / baseline.inference_cycles
+
+    def training_reduction(self, baseline: "NetworkTime") -> float:
+        return 1.0 - self.training_cycles / baseline.training_cycles
+
+
+def network_time(
+    network: str,
+    mode: EliminationMode = EliminationMode.DUPLO,
+    lhb_entries: Optional[int] = 1024,
+    layers: Optional[Sequence[ConvLayerSpec]] = None,
+    options: SimulationOptions = SimulationOptions(),
+    kernel: KernelConfig = BASELINE_KERNEL,
+    accelerate_backward: bool = False,
+) -> NetworkTime:
+    """Total cycles for one network's inference and training steps."""
+    if layers is None:
+        layers = TABLE_I[network]
+    forward = 0.0
+    backward = 0.0
+    for spec in layers:
+        fwd = simulate_layer(
+            spec, mode, lhb_entries=lhb_entries, kernel=kernel, options=options
+        ).cycles
+        # Data gradient: a real (often transposed) convolution.
+        dgrad_mode = (
+            mode if accelerate_backward else EliminationMode.BASELINE
+        )
+        dgrad = simulate_layer(
+            data_gradient_spec(spec),
+            dgrad_mode,
+            lhb_entries=lhb_entries,
+            kernel=kernel,
+            options=options,
+        ).cycles
+        # Weight gradient: same MAC volume, no programmed workspace;
+        # charged at the forward GEMM's baseline cost.
+        wgrad = simulate_layer(
+            spec, EliminationMode.BASELINE, kernel=kernel, options=options
+        ).cycles
+        forward += fwd
+        backward += dgrad + wgrad
+    inference = forward * (1 + NON_CONV_EPSILON)
+    training = (forward + backward) * (1 + NON_CONV_EPSILON)
+    return NetworkTime(
+        network=network, inference_cycles=inference, training_cycles=training
+    )
+
+
+def all_network_times(
+    mode: EliminationMode,
+    lhb_entries: Optional[int] = 1024,
+    options: SimulationOptions = SimulationOptions(),
+    kernel: KernelConfig = BASELINE_KERNEL,
+    accelerate_backward: bool = False,
+) -> Dict[str, NetworkTime]:
+    """Figure 14's bar set for one configuration."""
+    return {
+        network: network_time(
+            network,
+            mode,
+            lhb_entries,
+            options=options,
+            kernel=kernel,
+            accelerate_backward=accelerate_backward,
+        )
+        for network in TABLE_I
+    }

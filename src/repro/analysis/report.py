@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks and examples print through these helpers so the console
+output mirrors the rows/series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import Experiment
+
+
+def format_value(value) -> str:
+    """Human-friendly cell rendering (percentages for small floats)."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) < 10:
+            return f"{value:.3f}"
+        return f"{value:,.1f}"
+    if isinstance(value, dict):
+        return " ".join(f"{k}:{v:.2f}" for k, v in value.items())
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render row dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    return "\n".join([header, rule, body])
+
+
+def format_experiment(exp: Experiment, max_rows: Optional[int] = None) -> str:
+    """Full report: description, rows, summary, paper reference."""
+    rows = exp.rows if max_rows is None else exp.rows[:max_rows]
+    lines = [f"== {exp.name}: {exp.description} ==", format_table(rows)]
+    if max_rows is not None and len(exp.rows) > max_rows:
+        lines.append(f"... ({len(exp.rows) - max_rows} more rows)")
+    if exp.summary:
+        lines.append("summary:")
+        for key, value in exp.summary.items():
+            ref = exp.paper.get(key)
+            suffix = f"   (paper: {format_value(ref)})" if ref is not None else ""
+            lines.append(f"  {key:36s} {format_value(value)}{suffix}")
+    return "\n".join(lines)
+
+
+def comparison_lines(exp: Experiment) -> List[str]:
+    """paper-vs-measured lines for EXPERIMENTS.md."""
+    lines = []
+    for key, ref in exp.paper.items():
+        measured = exp.summary.get(key)
+        lines.append(
+            f"{exp.name}: {key} paper={format_value(ref)} "
+            f"measured={format_value(measured)}"
+        )
+    return lines

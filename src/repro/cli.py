@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``layers``
+    Print Table I with derived GEMM geometry.
+``simulate NETWORK LAYER``
+    Simulate one layer (baseline vs. Duplo) and print the comparison.
+``experiment NAME``
+    Regenerate one paper figure/table (``figure2`` .. ``figure14``,
+    ``table2``, ``energy_area``).
+``calibration``
+    Print the model's headline numbers against the paper's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments as exp_mod
+from repro.analysis.report import format_experiment, format_table
+from repro.conv.workloads import ALL_LAYERS, get_layer
+from repro.gpu.config import SimulationOptions
+from repro.gpu.simulator import EliminationMode, simulate_layer
+
+EXPERIMENTS = {
+    "figure2": lambda a: exp_mod.figure2(),
+    "figure3": lambda a: exp_mod.figure3(),
+    "figure9": lambda a: exp_mod.figure9(options=a),
+    "figure10": lambda a: exp_mod.figure10(options=a),
+    "figure11": lambda a: exp_mod.figure11(options=a),
+    "figure12": lambda a: exp_mod.figure12(options=a),
+    "figure13": lambda a: exp_mod.figure13(options=a),
+    "figure14": lambda a: exp_mod.figure14(options=a),
+    "table2": lambda a: exp_mod.table2(),
+    "energy_area": lambda a: exp_mod.energy_area(options=a),
+}
+
+
+def _cmd_layers(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in ALL_LAYERS:
+        g = spec.gemm_shape
+        rows.append(
+            {
+                "layer": spec.qualified_name,
+                "input": "x".join(map(str, spec.input_nhwc)),
+                "filter": "x".join(map(str, spec.filter_nhwc)),
+                "pad": spec.pad,
+                "stride": spec.stride,
+                "M": g.m,
+                "N": g.n,
+                "K": g.k,
+                "dup": round(spec.duplication_factor, 2),
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec = get_layer(args.network, args.layer)
+    options = SimulationOptions(max_ctas=args.max_ctas)
+    base = simulate_layer(
+        spec, EliminationMode.BASELINE, options=options
+    )
+    duplo = simulate_layer(
+        spec,
+        EliminationMode.DUPLO,
+        lhb_entries=None if args.lhb == 0 else args.lhb,
+        lhb_assoc=args.assoc,
+        options=options,
+    )
+    rows = []
+    for label, r in [("baseline", base), ("duplo", duplo)]:
+        rows.append(
+            {
+                "config": label,
+                "cycles": round(r.cycles),
+                "time_ms": r.time_ms,
+                "hit_rate": r.stats.lhb_hit_rate,
+                "eliminated": r.stats.elimination_rate,
+                "dram_MiB": r.stats.dram_read_bytes / 2**20,
+            }
+        )
+    print(spec)
+    print(format_table(rows))
+    print(f"improvement: {duplo.speedup_over(base) - 1:+.1%}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        runner = EXPERIMENTS[args.name]
+    except KeyError:
+        print(
+            f"unknown experiment {args.name!r}; "
+            f"choose from {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    options = SimulationOptions(max_ctas=args.max_ctas)
+    exp = runner(options)
+    if args.chart:
+        from repro.analysis.charts import summary_chart
+
+        print(summary_chart(exp))
+    else:
+        print(format_experiment(exp, max_rows=args.max_rows))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.analysis.layerstudy import study_layer
+
+    spec = get_layer(args.network, args.layer)
+    options = SimulationOptions(max_ctas=args.max_ctas)
+    dossier = study_layer(spec, lhb_entries=args.lhb or None, options=options)
+    print(spec)
+    for key, value in dossier.summary().items():
+        if isinstance(value, float) and abs(value) < 10:
+            print(f"  {key:28s} {value:8.3f}")
+        else:
+            print(f"  {key:28s} {value:,.1f}")
+    print(f"\nverdict: {dossier.verdict}")
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.conv.zoo import ZOO, build
+    from repro.gpu.stats import geometric_mean
+
+    try:
+        net = build(args.name, batch=args.batch)
+    except KeyError:
+        print(
+            f"unknown network {args.name!r}; choose from {sorted(ZOO)}",
+            file=sys.stderr,
+        )
+        return 2
+    options = SimulationOptions(max_ctas=args.max_ctas)
+    rows = []
+    speedups = []
+    for spec in net.conv_specs():
+        base = simulate_layer(
+            spec, EliminationMode.BASELINE, options=options
+        )
+        duplo = simulate_layer(
+            spec, lhb_entries=args.lhb or None, options=options
+        )
+        speedups.append(duplo.speedup_over(base))
+        rows.append(
+            {
+                "layer": spec.name,
+                "improvement": speedups[-1] - 1,
+                "hit_rate": duplo.stats.lhb_hit_rate,
+                "duplication": round(spec.duplication_factor, 2),
+            }
+        )
+    print(net)
+    print(format_table(rows))
+    print(f"gmean improvement: {geometric_mean(speedups) - 1:+.1%}")
+    return 0
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    options = SimulationOptions(max_ctas=args.max_ctas)
+    for name in ("figure9", "figure10", "figure11", "energy_area"):
+        exp = EXPERIMENTS[name](options)
+        for key, ref in exp.paper.items():
+            measured = exp.summary.get(key)
+            print(f"{name:12s} {key:32s} paper={ref:<8} measured={measured:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Duplo (MICRO 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("layers", help="print Table I with GEMM geometry")
+
+    sim = sub.add_parser("simulate", help="simulate one layer")
+    sim.add_argument("network", choices=["resnet", "gan", "yolo"])
+    sim.add_argument("layer", help="layer name, e.g. C2 or TC1")
+    sim.add_argument("--lhb", type=int, default=1024,
+                     help="LHB entries (0 = oracle)")
+    sim.add_argument("--assoc", type=int, default=1)
+    sim.add_argument("--max-ctas", type=int, default=None)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp.add_argument("name", help="figure2..figure14, table2, energy_area")
+    exp.add_argument("--max-ctas", type=int, default=4)
+    exp.add_argument("--max-rows", type=int, default=30)
+    exp.add_argument("--chart", action="store_true",
+                     help="render summary metrics as a bar chart")
+
+    cal = sub.add_parser("calibration", help="paper-vs-measured headlines")
+    cal.add_argument("--max-ctas", type=int, default=4)
+
+    ins = sub.add_parser("inspect", help="full dossier for one layer")
+    ins.add_argument("network", choices=["resnet", "gan", "yolo"])
+    ins.add_argument("layer")
+    ins.add_argument("--lhb", type=int, default=1024)
+    ins.add_argument("--max-ctas", type=int, default=3)
+
+    net = sub.add_parser(
+        "network", help="simulate a derived network (vgg16/discogan/fcn)"
+    )
+    net.add_argument("name", help="network from the zoo")
+    net.add_argument("--batch", type=int, default=8)
+    net.add_argument("--lhb", type=int, default=1024,
+                     help="LHB entries (0 = oracle)")
+    net.add_argument("--max-ctas", type=int, default=2)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "layers": _cmd_layers,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "calibration": _cmd_calibration,
+        "network": _cmd_network,
+        "inspect": _cmd_inspect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Convolution substrate: layer specs, workloads, lowering, and methods.
+
+This subpackage implements everything the Duplo paper's evaluation
+depends on below the GPU model: convolutional layer geometry (including
+the transposed convolutions of DCGAN), the Table I workload definitions,
+im2col lowering with exact workspace<->input coordinate maps, and
+functional implementations of every convolution method the paper
+compares (direct, GEMM, Winograd, FFT).
+"""
+
+from repro.conv.layer import ConvLayerSpec, OutputShape, GemmShape
+from repro.conv.workloads import (
+    RESNET_LAYERS,
+    GAN_LAYERS,
+    YOLO_LAYERS,
+    ALL_LAYERS,
+    TABLE_I,
+    get_layer,
+    layers_for_network,
+    networks,
+)
+from repro.conv.lowering import (
+    LoweredWorkspace,
+    lower_input,
+    workspace_entry_to_input_coord,
+    workspace_shape,
+)
+from repro.conv.methods import ConvMethod, METHOD_REGISTRY, applicable_methods
+
+__all__ = [
+    "ConvLayerSpec",
+    "OutputShape",
+    "GemmShape",
+    "RESNET_LAYERS",
+    "GAN_LAYERS",
+    "YOLO_LAYERS",
+    "ALL_LAYERS",
+    "TABLE_I",
+    "get_layer",
+    "layers_for_network",
+    "networks",
+    "LoweredWorkspace",
+    "lower_input",
+    "workspace_entry_to_input_coord",
+    "workspace_shape",
+    "ConvMethod",
+    "METHOD_REGISTRY",
+    "applicable_methods",
+]

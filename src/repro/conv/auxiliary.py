@@ -1,0 +1,92 @@
+"""Auxiliary (non-convolution) network layers: pooling and softmax.
+
+Figure 14 omits pooling and softmax because they "account for
+infinitesimally small fraction of execution time".  This module makes
+that claim checkable instead of assumed: functional max/average
+pooling and softmax implementations plus a bandwidth-bound cost model
+whose cycle estimates feed the network model's epsilon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.conv.layer import ConvLayerSpec
+from repro.gpu.config import GPUConfig, TITAN_V
+
+
+def max_pool(x: np.ndarray, size: int = 2, stride: int = 2) -> np.ndarray:
+    """Max pooling over NHWC input (valid windows only)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC tensor, got shape {x.shape}")
+    n, h, w, c = x.shape
+    oh = (h - size) // stride + 1
+    ow = (w - size) // stride + 1
+    out = np.full((n, oh, ow, c), -np.inf, dtype=x.dtype)
+    for dy in range(size):
+        for dx in range(size):
+            window = x[
+                :,
+                dy : dy + oh * stride : stride,
+                dx : dx + ow * stride : stride,
+                :,
+            ]
+            np.maximum(out, window, out=out)
+    return out
+
+
+def average_pool(x: np.ndarray, size: int = 2, stride: int = 2) -> np.ndarray:
+    """Average pooling over NHWC input (valid windows only)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected NHWC tensor, got shape {x.shape}")
+    n, h, w, c = x.shape
+    oh = (h - size) // stride + 1
+    ow = (w - size) // stride + 1
+    out = np.zeros((n, oh, ow, c), dtype=np.promote_types(x.dtype, np.float64))
+    for dy in range(size):
+        for dx in range(size):
+            out += x[
+                :,
+                dy : dy + oh * stride : stride,
+                dx : dx + ow * stride : stride,
+                :,
+            ]
+    return out / (size * size)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+@dataclass(frozen=True)
+class AuxiliaryCostModel:
+    """Bandwidth-bound cycle estimate for pooling/softmax layers.
+
+    Both are streaming elementwise/reduction passes: one read and one
+    (smaller) write of the activation tensor at DRAM bandwidth, with
+    negligible arithmetic next to the tensor cores.
+    """
+
+    gpu: GPUConfig = TITAN_V
+    element_bytes: int = 2
+
+    def pool_cycles(self, spec: ConvLayerSpec) -> float:
+        """Cycles to pool ``spec``'s output tensor (2x2/2)."""
+        read = spec.output_elements * self.element_bytes
+        write = read // 4
+        return (read + write) / self.gpu.dram_bytes_per_cycle
+
+    def softmax_cycles(self, classes: int, batch: int) -> float:
+        bytes_moved = 2 * classes * batch * self.element_bytes
+        return bytes_moved / self.gpu.dram_bytes_per_cycle
+
+    def fraction_of(self, spec: ConvLayerSpec, conv_cycles: float) -> float:
+        """Pooling time as a fraction of the convolution's time."""
+        if conv_cycles <= 0:
+            raise ValueError("conv_cycles must be positive")
+        return self.pool_cycles(spec) / conv_cycles

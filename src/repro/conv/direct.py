@@ -1,0 +1,50 @@
+"""Direct (sliding-window) convolution — the paper's reference method.
+
+This is the mathematical definition from Figure 1(a): anchor the
+filter, take the sum of element-wise products with the receptive
+field, slide, repeat over filters / channels / images.  It is the
+correctness oracle every other method is tested against, and the
+normalisation baseline of Figures 2 and 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.lowering import _effective_input
+
+
+def direct_convolution(spec: ConvLayerSpec, x: np.ndarray, filters: np.ndarray) -> np.ndarray:
+    """Convolve ``x`` (NHWC) with ``filters`` ((K, kH, kW, C)) directly.
+
+    Returns the NHWC output tensor.  Transposed layers are handled by
+    zero-insertion upsampling first, matching the paper's definition.
+    The loop nest runs over output pixels and filter taps; the
+    channel/filter reduction is vectorised so tests stay fast without
+    changing the arithmetic.
+    """
+    expected_filter = spec.filter_nhwc
+    if tuple(filters.shape) != expected_filter:
+        raise ValueError(
+            f"filter shape {filters.shape} != spec shape {expected_filter}"
+        )
+    eff = spec.effective_spec()
+    x_eff = _effective_input(spec, x)
+    out_shape = eff.output_shape
+    n, h, w, c = x_eff.shape
+    pad = eff.pad
+    padded = np.zeros((n, h + 2 * pad, w + 2 * pad, c), dtype=np.promote_types(x.dtype, filters.dtype))
+    padded[:, pad : pad + h, pad : pad + w, :] = x_eff
+
+    out = np.zeros((n, out_shape.height, out_shape.width, eff.num_filters), dtype=padded.dtype)
+    # (K, kH, kW, C) -> (kH, kW, C, K) for a per-tap channel reduction.
+    f = np.ascontiguousarray(filters.transpose(1, 2, 3, 0))
+    s = eff.stride
+    for oy in range(out_shape.height):
+        for ox in range(out_shape.width):
+            field = padded[:, oy * s : oy * s + eff.filter_height,
+                           ox * s : ox * s + eff.filter_width, :]
+            # (N, kH, kW, C) . (kH, kW, C, K) -> (N, K)
+            out[:, oy, ox, :] = np.tensordot(field, f, axes=([1, 2, 3], [0, 1, 2]))
+    return out

@@ -1,0 +1,244 @@
+"""Composable DNNs: chain convolutions with pooling and softmax.
+
+The paper evaluates isolated convolutional layers; a user adopting
+this library wants whole networks.  :class:`SequentialNetwork` chains
+typed layers with shape checking, runs *real* NumPy inference through
+the convolution substrate (:meth:`forward`), and hands its
+convolutional layers to the simulator (:meth:`simulate`) — the
+network-level composition behind Figure 14, but constructed rather
+than hard-coded.
+
+Derived workloads the paper names ("many other neural networks can be
+easily derived ... such as VGG, DiscoGAN, and FCN") live in
+``repro.conv.zoo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.conv.auxiliary import average_pool, max_pool, softmax
+from repro.conv.gemm import gemm_convolution
+from repro.conv.layer import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A convolution stage: the spec plus optional ReLU."""
+
+    spec: ConvLayerSpec
+    relu: bool = True
+
+    def output_shape(self, shape: Tuple[int, int, int, int]):
+        if shape != self.spec.input_nhwc:
+            raise ValueError(
+                f"{self.spec.qualified_name}: input {shape} != "
+                f"expected {self.spec.input_nhwc}"
+            )
+        out = self.spec.output_shape
+        return (self.spec.batch, out.height, out.width, out.channels)
+
+    def forward(self, x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        y = gemm_convolution(self.spec, x, weights)
+        if self.relu:
+            y = np.maximum(y, 0.0)
+        return y
+
+
+@dataclass(frozen=True)
+class PoolLayer:
+    """Max or average pooling."""
+
+    size: int = 2
+    stride: int = 2
+    kind: str = "max"
+
+    def __post_init__(self):
+        if self.kind not in ("max", "avg"):
+            raise ValueError(f"kind must be 'max' or 'avg', got {self.kind!r}")
+
+    def output_shape(self, shape):
+        n, h, w, c = shape
+        oh = (h - self.size) // self.stride + 1
+        ow = (w - self.size) // self.stride + 1
+        if oh < 1 or ow < 1:
+            raise ValueError(f"pooling window exceeds input {shape}")
+        return (n, oh, ow, c)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        fn = max_pool if self.kind == "max" else average_pool
+        return fn(x, self.size, self.stride)
+
+
+@dataclass(frozen=True)
+class SoftmaxLayer:
+    """Channel-wise softmax over the flattened activations."""
+
+    def output_shape(self, shape):
+        return shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        flat = x.reshape(n, -1)
+        return softmax(flat, axis=-1).reshape(x.shape)
+
+
+Layer = Union[ConvLayer, PoolLayer, SoftmaxLayer]
+
+
+class SequentialNetwork:
+    """A shape-checked chain of layers.
+
+    The constructor validates that every layer's output feeds the
+    next layer's expected input, so a mis-specified network fails at
+    build time, not mid-inference.
+    """
+
+    def __init__(self, name: str, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.name = name
+        self.layers = list(layers)
+        shape = self._input_shape()
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        self.output_nhwc = shape
+
+    def _input_shape(self) -> Tuple[int, int, int, int]:
+        first = next(
+            (l for l in self.layers if isinstance(l, ConvLayer)), None
+        )
+        if first is None:
+            raise ValueError("a network needs at least one convolution")
+        if self.layers[0] is not first:
+            raise ValueError("the first layer must be a convolution")
+        return first.spec.input_nhwc
+
+    @property
+    def input_nhwc(self) -> Tuple[int, int, int, int]:
+        return self._input_shape()
+
+    def conv_specs(self) -> List[ConvLayerSpec]:
+        return [l.spec for l in self.layers if isinstance(l, ConvLayer)]
+
+    # ------------------------------------------------------------------
+    # Real inference
+    # ------------------------------------------------------------------
+    def init_weights(self, rng: np.random.Generator) -> List[np.ndarray]:
+        """He-style random filters for every convolution."""
+        weights = []
+        for spec in self.conv_specs():
+            scale = np.sqrt(2.0 / spec.filter_volume)
+            weights.append(
+                rng.standard_normal(spec.filter_nhwc) * scale
+            )
+        return weights
+
+    def forward(
+        self, x: np.ndarray, weights: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Run inference; returns the final activation tensor."""
+        conv_count = len(self.conv_specs())
+        if len(weights) != conv_count:
+            raise ValueError(
+                f"need {conv_count} weight tensors, got {len(weights)}"
+            )
+        w_iter = iter(weights)
+        out = x
+        for layer in self.layers:
+            if isinstance(layer, ConvLayer):
+                out = layer.forward(out, next(w_iter))
+            else:
+                out = layer.forward(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        mode=None,
+        lhb_entries: Optional[int] = 1024,
+        options=None,
+    ) -> Dict[str, float]:
+        """Total simulated cycles of the network's convolutions.
+
+        Returns per-layer and total cycles; pooling/softmax are
+        charged via the auxiliary cost model.
+        """
+        from repro.conv.auxiliary import AuxiliaryCostModel
+        from repro.gpu.config import SimulationOptions
+        from repro.gpu.simulator import EliminationMode, simulate_layer
+
+        if mode is None:
+            mode = EliminationMode.DUPLO
+        if options is None:
+            options = SimulationOptions()
+        aux = AuxiliaryCostModel()
+        cycles: Dict[str, float] = {}
+        total = 0.0
+        conv_iter = iter(self.conv_specs())
+        for i, layer in enumerate(self.layers):
+            if isinstance(layer, ConvLayer):
+                spec = next(conv_iter)
+                c = simulate_layer(
+                    spec, mode, lhb_entries=lhb_entries, options=options
+                ).cycles
+                cycles[f"{i}:{spec.name}"] = c
+            elif isinstance(layer, PoolLayer):
+                prev = self.layers[i - 1]
+                ref = prev.spec if isinstance(prev, ConvLayer) else None
+                c = aux.pool_cycles(ref) if ref is not None else 0.0
+                cycles[f"{i}:pool"] = c
+            else:
+                c = aux.softmax_cycles(
+                    classes=int(np.prod(self.output_nhwc[1:])),
+                    batch=self.output_nhwc[0],
+                )
+                cycles[f"{i}:softmax"] = c
+            total += c
+        cycles["total"] = total
+        return cycles
+
+    def __repr__(self) -> str:
+        return (
+            f"SequentialNetwork({self.name!r}, {len(self.layers)} layers, "
+            f"{self.input_nhwc} -> {self.output_nhwc})"
+        )
+
+
+def conv(
+    name: str,
+    network: str,
+    input_nhwc: Tuple[int, int, int, int],
+    filters: int,
+    kernel: int,
+    pad: int,
+    stride: int = 1,
+    relu: bool = True,
+    transposed: bool = False,
+    output_pad: int = 0,
+) -> ConvLayer:
+    """Terse ConvLayer builder used by the network zoo."""
+    n, h, w, c = input_nhwc
+    return ConvLayer(
+        spec=ConvLayerSpec(
+            name=name,
+            network=network,
+            batch=n,
+            in_height=h,
+            in_width=w,
+            in_channels=c,
+            num_filters=filters,
+            filter_height=kernel,
+            filter_width=kernel,
+            pad=pad,
+            stride=stride,
+            transposed=transposed,
+            output_pad=output_pad,
+        ),
+        relu=relu,
+    )

@@ -1,0 +1,116 @@
+"""FFT-based convolution.
+
+The second transform-domain comparator in Figures 2 and 3: filter and
+input are mapped into the Fourier domain, multiplied element-wise, and
+mapped back.  Cross-correlation semantics (what CNNs call convolution)
+are obtained by conjugating the filter spectrum.
+
+Like Winograd, the method only handles unit strides, and its spectra
+(one complex value per frequency bin per channel, for inputs padded to
+``H + kH - 1``) are what make its memory footprint the worst of all
+methods (53.5x direct on average in Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conv.layer import ConvLayerSpec
+
+#: Bytes of one complex spectrum value (complex64).
+COMPLEX_BYTES = 8
+
+
+def fft_applicable(spec: ConvLayerSpec) -> bool:
+    """True if FFT convolution can run this layer (unit stride, forward)."""
+    return not spec.transposed and spec.stride == 1
+
+
+def _fft_sizes(spec: ConvLayerSpec) -> tuple:
+    """Linear-convolution-safe FFT sizes (padded input + filter - 1)."""
+    fh = spec.in_height + 2 * spec.pad + spec.filter_height - 1
+    fw = spec.in_width + 2 * spec.pad + spec.filter_width - 1
+    return fh, fw
+
+
+def fft_convolution(
+    spec: ConvLayerSpec, x: np.ndarray, filters: np.ndarray
+) -> np.ndarray:
+    """Convolve via per-channel 2-D FFTs.  NHWC in, NHWC out.
+
+    Raises ``ValueError`` when :func:`fft_applicable` is False.
+    """
+    if not fft_applicable(spec):
+        raise ValueError(f"FFT conv inapplicable to {spec.qualified_name}: {spec}")
+    if tuple(filters.shape) != spec.filter_nhwc:
+        raise ValueError(
+            f"filter shape {filters.shape} != spec shape {spec.filter_nhwc}"
+        )
+    out = spec.output_shape
+    pad = spec.pad
+    fh, fw = _fft_sizes(spec)
+
+    padded = np.zeros(
+        (spec.batch, spec.in_height + 2 * pad, spec.in_width + 2 * pad,
+         spec.in_channels),
+        dtype=np.float64,
+    )
+    padded[:, pad : pad + spec.in_height, pad : pad + spec.in_width, :] = x
+
+    # Spectra over the spatial axes; channels/batch ride along.
+    xf = np.fft.rfft2(padded, s=(fh, fw), axes=(1, 2))  # (N, fh, fw', C)
+    ff = np.fft.rfft2(
+        filters.astype(np.float64), s=(fh, fw), axes=(1, 2)
+    )  # (K, fh, fw', C)
+    # Cross-correlation: conjugate the filter spectrum, reduce channels.
+    spec_prod = np.einsum("nhwc,khwc->nhwk", xf, np.conj(ff))
+    full = np.fft.irfft2(spec_prod, s=(fh, fw), axes=(1, 2))  # (N, fh, fw, K)
+    # Valid cross-correlation outputs start at offset 0 of the padded frame.
+    return np.ascontiguousarray(full[:, : out.height, : out.width, :])
+
+
+def _next_pow2(x: int) -> int:
+    return 1 << (x - 1).bit_length()
+
+
+def fft_workspace_bytes(spec: ConvLayerSpec, library_allocation: bool = True) -> int:
+    """Transform-domain memory: input, filter, and product spectra.
+
+    With ``library_allocation`` (the default, modelling a cuFFT-style
+    deployment as measured in Figure 3) spatial sizes round up to the
+    next power of two and the FFT plan keeps a work area the size of
+    its largest buffer.  ``library_allocation=False`` gives the
+    minimal r2c footprint of the NumPy implementation above.
+    """
+    if not fft_applicable(spec):
+        raise ValueError(f"FFT conv inapplicable to {spec.qualified_name}")
+    fh, fw = _fft_sizes(spec)
+    if library_allocation:
+        fh, fw = _next_pow2(fh), _next_pow2(fw)
+    bins = fh * (fw // 2 + 1)
+    x_spec = spec.batch * bins * spec.in_channels
+    f_spec = spec.num_filters * bins * spec.in_channels
+    y_spec = spec.batch * bins * spec.num_filters
+    total = x_spec + f_spec + y_spec
+    if library_allocation:
+        total += max(x_spec, f_spec, y_spec)  # plan work area
+    return total * COMPLEX_BYTES
+
+
+def fft_flop_count(spec: ConvLayerSpec) -> float:
+    """Approximate FLOPs: forward/inverse FFTs plus the spectral product."""
+    if not fft_applicable(spec):
+        raise ValueError(f"FFT conv inapplicable to {spec.qualified_name}")
+    fh, fw = _fft_sizes(spec)
+    pixels = fh * fw
+    log_term = max(np.log2(pixels), 1.0)
+    fft_cost = 5.0 * pixels * log_term  # classic 5 N log N per 2-D FFT
+    n_ffts = (
+        spec.batch * spec.in_channels          # input spectra
+        + spec.num_filters * spec.in_channels  # filter spectra
+        + spec.batch * spec.num_filters        # inverse transforms
+    )
+    bins = fh * (fw // 2 + 1)
+    # Complex MAC = 8 real FLOPs, reduced over channels.
+    product_cost = 8.0 * bins * spec.batch * spec.num_filters * spec.in_channels
+    return n_ffts * fft_cost + product_cost

@@ -1,0 +1,165 @@
+"""Backward-pass substrate: weight and data gradients of a convolution.
+
+Training (Figure 14) runs, per layer, the forward GEMM plus two
+backward GEMMs of the same MAC count:
+
+* the **weight gradient** contracts the lowered workspace with the
+  output gradient over the output-pixel axis:
+  ``dW = A^T @ dY``  (a (K x M) @ (M x F) GEMM);
+* the **data gradient** scatters ``dY @ B^T`` back through the
+  im2col map — mathematically a *transposed convolution* of the
+  output gradient with the spatially flipped filters, whose own
+  lowered form :func:`data_gradient_spec` exposes for the simulator.
+
+Both are implemented exactly (adjoint identities are tested) so the
+network-level training model rests on real substrate, not a scaling
+factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.conv.gemm import filters_to_matrix
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.lowering import col2im, lower_input
+
+
+def _check_output_grad(spec: ConvLayerSpec, dy: np.ndarray) -> None:
+    out = spec.output_shape
+    expected = (spec.batch, out.height, out.width, spec.num_filters)
+    if tuple(dy.shape) != expected:
+        raise ValueError(f"output-grad shape {dy.shape} != {expected}")
+
+
+def weight_gradient(
+    spec: ConvLayerSpec, x: np.ndarray, dy: np.ndarray
+) -> np.ndarray:
+    """dL/dW for output gradient ``dy``; returns (K, kH, kW, C)."""
+    _check_output_grad(spec, dy)
+    a = lower_input(spec, x).matrix  # (M, K)
+    g = spec.gemm_shape
+    dy_mat = dy.reshape(g.m, g.n)  # (M, F)
+    dw = a.T @ dy_mat  # (K, F)
+    return (
+        dw.T.reshape(spec.filter_nhwc)
+    )
+
+
+def data_gradient(
+    spec: ConvLayerSpec, dy: np.ndarray, filters: np.ndarray
+) -> np.ndarray:
+    """dL/dX for output gradient ``dy``; returns the input's shape.
+
+    Computed as the exact adjoint of the forward path: the workspace
+    gradient ``dY @ B^T`` is scattered back through :func:`col2im`;
+    transposed layers additionally strip the zero-insertion (its
+    adjoint is subsampling).
+    """
+    _check_output_grad(spec, dy)
+    if tuple(filters.shape) != spec.filter_nhwc:
+        raise ValueError(
+            f"filter shape {filters.shape} != spec shape {spec.filter_nhwc}"
+        )
+    g = spec.gemm_shape
+    dy_mat = dy.reshape(g.m, g.n)
+    b = filters_to_matrix(spec, filters)  # (K, F)
+    dws = dy_mat @ b.T  # workspace gradient (M, K)
+    dx_eff = col2im(spec, dws)  # effective (possibly upsampled) frame
+    if not spec.transposed:
+        return dx_eff
+    # Adjoint of zero-insertion: take the non-inserted positions.
+    s = spec.stride
+    return np.ascontiguousarray(
+        dx_eff[
+            :,
+            : (spec.in_height - 1) * s + 1 : s,
+            : (spec.in_width - 1) * s + 1 : s,
+            :,
+        ]
+    )
+
+
+def data_gradient_spec(spec: ConvLayerSpec) -> ConvLayerSpec:
+    """The convolution computing ``spec``'s data gradient.
+
+    Full-correlation geometry: the output gradient (N, OH, OW, F)
+    convolved with the flipped filters (C, kH, kW, F), padded by
+    ``k - 1 - p``.  Unit-stride forward layers give a forward conv;
+    strided layers give a transposed (zero-insertion) conv — i.e. the
+    dgrad of a conv is itself a Table-I-style layer the simulator can
+    run (and Duplo could accelerate, the ``accelerate_backward``
+    ablation).
+    """
+    eff = spec.effective_spec()
+    out = eff.output_shape
+    pad_h = eff.filter_height - 1 - eff.pad
+    pad_w = eff.filter_width - 1 - eff.pad
+    if pad_h < 0 or pad_w < 0:
+        # Over-padded forward conv; clamp (the gradient geometry then
+        # crops, which the coarse timing model does not distinguish).
+        pad_h = max(pad_h, 0)
+        pad_w = max(pad_w, 0)
+    if pad_h != pad_w:
+        raise ValueError("data_gradient_spec needs square filters/padding")
+
+    stride = spec.effective_stride if not spec.transposed else spec.stride
+    if spec.transposed:
+        # Forward was an upsampling conv; its gradient is a plain
+        # strided conv over the (unit-stride) effective geometry.
+        return ConvLayerSpec(
+            name=f"{spec.name}-dgrad",
+            network=spec.network,
+            batch=spec.batch,
+            in_height=out.height,
+            in_width=out.width,
+            in_channels=spec.num_filters,
+            num_filters=spec.in_channels,
+            filter_height=spec.filter_height,
+            filter_width=spec.filter_width,
+            pad=pad_h,
+            stride=spec.stride,
+        )
+    if spec.stride == 1:
+        return ConvLayerSpec(
+            name=f"{spec.name}-dgrad",
+            network=spec.network,
+            batch=spec.batch,
+            in_height=out.height,
+            in_width=out.width,
+            in_channels=spec.num_filters,
+            num_filters=spec.in_channels,
+            filter_height=spec.filter_height,
+            filter_width=spec.filter_width,
+            pad=pad_h,
+            stride=1,
+        )
+    # Strided forward conv: the gradient upsamples the output grad by
+    # the stride (a transposed conv); output padding restores the
+    # input extent where the forward conv dropped remainder pixels.
+    reach = (out.height - 1) * spec.stride + 1
+    output_pad = max(0, spec.in_height + 2 * pad_h
+                     - spec.filter_height + 1 - reach)
+    return ConvLayerSpec(
+        name=f"{spec.name}-dgrad",
+        network=spec.network,
+        batch=spec.batch,
+        in_height=out.height,
+        in_width=out.width,
+        in_channels=spec.num_filters,
+        num_filters=spec.in_channels,
+        filter_height=spec.filter_height,
+        filter_width=spec.filter_width,
+        pad=pad_h,
+        stride=spec.stride,
+        transposed=True,
+        output_pad=output_pad,
+    )
+
+
+def weight_gradient_gemm_shape(spec: ConvLayerSpec):
+    """GEMM dimensions of the weight-gradient contraction (K, F, M)."""
+    g = spec.gemm_shape
+    from repro.conv.layer import GemmShape
+
+    return GemmShape(m=g.k, n=g.n, k=g.m)

@@ -1,0 +1,311 @@
+"""Convolutional layer geometry.
+
+A :class:`ConvLayerSpec` captures one convolutional layer exactly as
+Table I of the Duplo paper lists it: an NHWC input tensor, an NHWC
+filter bank, padding, stride, and (for the generator half of DCGAN) a
+transposed-convolution flag.  Everything downstream — the im2col
+lowering, the ID generator, the GEMM kernel model — derives its
+geometry from this class, so all dimension arithmetic lives here.
+
+Transposed convolutions are handled the way cuDNN and the paper handle
+them ("upsamples input data by inserting zeros before performing a
+convolution"): :meth:`ConvLayerSpec.effective_spec` rewrites a
+transposed layer into an equivalent *unit-stride forward* convolution
+over the zero-upsampled input, and the rest of the system only ever
+sees that effective spec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+#: Bytes per half-precision (fp16) element, the tensor-core operand type.
+HALF_BYTES = 2
+#: Bytes per single-precision (fp32) element, used for accumulators.
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class OutputShape:
+    """Spatial output shape of a convolution (per image)."""
+
+    height: int
+    width: int
+    channels: int
+
+    @property
+    def pixels(self) -> int:
+        """Number of output pixels per image."""
+        return self.height * self.width
+
+    @property
+    def elements(self) -> int:
+        """Number of output elements per image."""
+        return self.pixels * self.channels
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Dimensions of the GEMM ``D = A x B + C`` realising a lowered conv.
+
+    ``A`` is the (batch * output-pixels) x (filter volume) workspace,
+    ``B`` is the (filter volume) x (num filters) filter matrix, and
+    ``D`` accumulates the (batch * output-pixels) x (num filters)
+    output.  This matches the implicit-GEMM convention for NHWC data
+    used by cuDNN with tensor cores (Section II-B of the paper).
+    """
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations in the full GEMM."""
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    def padded(self, tile: int = 16) -> "GemmShape":
+        """Round every dimension up to a multiple of ``tile``.
+
+        Tensor cores operate on 16x16x16 fragments, so the kernel pads
+        each GEMM dimension to the tile size.
+        """
+        def up(x: int) -> int:
+            return ((x + tile - 1) // tile) * tile
+
+        return GemmShape(m=up(self.m), n=up(self.n), k=up(self.k))
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One convolutional layer in Table I notation.
+
+    Parameters
+    ----------
+    name:
+        Layer label as in Table I (e.g. ``"C2"`` or ``"TC1"``).
+    network:
+        Owning network (``"resnet"``, ``"gan"``, ``"yolo"``), or any
+        other string for synthetic layers.
+    batch:
+        Number of images ``N``.
+    in_height, in_width, in_channels:
+        Input ``H``, ``W``, ``C`` (NHWC layout).
+    num_filters:
+        Number of filters (output channels).
+    filter_height, filter_width:
+        Filter spatial dimensions.
+    pad:
+        Symmetric zero padding on each spatial border.
+    stride:
+        Filter striding distance (both axes).  For a transposed
+        convolution this is the *upsampling* factor.
+    transposed:
+        True for the zero-insertion transposed convolutions of the GAN
+        generator (Table I rows TC1..TC4).
+    output_pad:
+        Extra rows/columns of zeros appended at the bottom/right of the
+        upsampled input of a transposed convolution (PyTorch's
+        ``output_padding``); DCGAN's k=5/s=2/p=2 layers use 1 so the
+        spatial size exactly doubles.
+    """
+
+    name: str
+    network: str
+    batch: int
+    in_height: int
+    in_width: int
+    in_channels: int
+    num_filters: int
+    filter_height: int
+    filter_width: int
+    pad: int
+    stride: int
+    transposed: bool = False
+    output_pad: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if min(self.in_height, self.in_width, self.in_channels) < 1:
+            raise ValueError(f"input dims must be >= 1: {self}")
+        if min(self.filter_height, self.filter_width, self.num_filters) < 1:
+            raise ValueError(f"filter dims must be >= 1: {self}")
+        if self.pad < 0:
+            raise ValueError(f"pad must be >= 0, got {self.pad}")
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+        if not self.transposed and self.output_pad:
+            raise ValueError("output_pad is only meaningful for transposed convs")
+        eff = self._effective_dims()
+        if eff[0] + 2 * self.pad < self.filter_height:
+            raise ValueError(f"filter taller than padded input: {self}")
+        if eff[1] + 2 * self.pad < self.filter_width:
+            raise ValueError(f"filter wider than padded input: {self}")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def _effective_dims(self) -> Tuple[int, int]:
+        """(height, width) of the input actually convolved over.
+
+        For a forward convolution this is the raw input; for a
+        transposed convolution it is the zero-upsampled input.
+        """
+        if not self.transposed:
+            return self.in_height, self.in_width
+        h = (self.in_height - 1) * self.stride + 1 + self.output_pad
+        w = (self.in_width - 1) * self.stride + 1 + self.output_pad
+        return h, w
+
+    @property
+    def effective_stride(self) -> int:
+        """Stride of the convolution actually executed after lowering."""
+        return 1 if self.transposed else self.stride
+
+    def effective_spec(self) -> "ConvLayerSpec":
+        """The equivalent forward convolution executed on the GPU.
+
+        Transposed layers become unit-stride forward convolutions over
+        the zero-upsampled input; forward layers return ``self``.
+        """
+        if not self.transposed:
+            return self
+        h, w = self._effective_dims()
+        return replace(
+            self,
+            in_height=h,
+            in_width=w,
+            stride=1,
+            transposed=False,
+            output_pad=0,
+        )
+
+    @property
+    def output_shape(self) -> OutputShape:
+        """Spatial output shape (per image)."""
+        h, w = self._effective_dims()
+        s = self.effective_stride
+        out_h = (h + 2 * self.pad - self.filter_height) // s + 1
+        out_w = (w + 2 * self.pad - self.filter_width) // s + 1
+        return OutputShape(height=out_h, width=out_w, channels=self.num_filters)
+
+    @property
+    def filter_volume(self) -> int:
+        """Elements per filter (kH * kW * C) — the GEMM K dimension."""
+        return self.filter_height * self.filter_width * self.in_channels
+
+    @property
+    def gemm_shape(self) -> GemmShape:
+        """GEMM dimensions of the lowered convolution."""
+        out = self.output_shape
+        return GemmShape(
+            m=self.batch * out.pixels,
+            n=self.num_filters,
+            k=self.filter_volume,
+        )
+
+    # ------------------------------------------------------------------
+    # Sizes (bytes / element counts)
+    # ------------------------------------------------------------------
+    @property
+    def input_elements(self) -> int:
+        """Elements in the raw input tensor (before any upsampling)."""
+        return self.batch * self.in_height * self.in_width * self.in_channels
+
+    @property
+    def effective_input_elements(self) -> int:
+        """Elements in the input tensor after transposed-conv upsampling."""
+        h, w = self._effective_dims()
+        return self.batch * h * w * self.in_channels
+
+    @property
+    def filter_elements(self) -> int:
+        """Elements in the filter bank."""
+        return self.num_filters * self.filter_volume
+
+    @property
+    def output_elements(self) -> int:
+        """Elements in the output tensor."""
+        return self.batch * self.output_shape.elements
+
+    @property
+    def workspace_elements(self) -> int:
+        """Elements in the lowered (im2col) workspace matrix."""
+        g = self.gemm_shape
+        return g.m * g.k
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Bytes of the half-precision workspace matrix."""
+        return self.workspace_elements * HALF_BYTES
+
+    @property
+    def duplication_factor(self) -> float:
+        """Workspace elements per effective input element.
+
+        A value of 1.0 means lowering created no duplicates; Table I
+        layers typically sit between ~2x and ~9x (filter area divided
+        by stride^2, clipped by borders).
+        """
+        return self.workspace_elements / self.effective_input_elements
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates of the direct convolution (== GEMM MACs)."""
+        return self.gemm_shape.macs
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    @property
+    def input_nhwc(self) -> Tuple[int, int, int, int]:
+        """Input shape as the (N, H, W, C) tuple Table I prints."""
+        return (self.batch, self.in_height, self.in_width, self.in_channels)
+
+    @property
+    def filter_nhwc(self) -> Tuple[int, int, int, int]:
+        """Filter shape as the (K, kH, kW, C) tuple Table I prints."""
+        return (
+            self.num_filters,
+            self.filter_height,
+            self.filter_width,
+            self.in_channels,
+        )
+
+    @property
+    def qualified_name(self) -> str:
+        """Globally unique label, e.g. ``"resnet/C2"``."""
+        return f"{self.network}/{self.name}"
+
+    def with_batch(self, batch: int) -> "ConvLayerSpec":
+        """Same layer with a different batch size (Fig 13 sweeps)."""
+        return replace(self, batch=batch)
+
+    def scaled(self, spatial: float) -> "ConvLayerSpec":
+        """Same layer with spatial dims scaled by ``spatial`` (>= 1/H).
+
+        Used to build reduced-size variants for fast tests; output
+        geometry constraints are re-validated by ``__post_init__``.
+        """
+        return replace(
+            self,
+            in_height=max(self.filter_height, math.ceil(self.in_height * spatial)),
+            in_width=max(self.filter_width, math.ceil(self.in_width * spatial)),
+        )
+
+    def __str__(self) -> str:
+        kind = "transposed conv" if self.transposed else "conv"
+        n, h, w, c = self.input_nhwc
+        k, kh, kw, _ = self.filter_nhwc
+        return (
+            f"{self.qualified_name}: {kind} {n}x{h}x{w}x{c} * "
+            f"{k}x{kh}x{kw}x{c} pad={self.pad} stride={self.stride}"
+        )

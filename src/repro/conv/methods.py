@@ -1,0 +1,116 @@
+"""Registry of convolution methods compared in Figures 2 and 3.
+
+Each :class:`ConvMethod` bundles a functional implementation (used as
+the correctness reference for tests), an applicability predicate (the
+missing bars in the figures), and the execution resource it runs on
+(CUDA cores vs. tensor cores), which the Figure 2 cost model uses.
+
+The five non-direct methods mirror the paper's legend: ``gemm``,
+``winograd``, ``fft`` on CUDA cores, and ``gemm_tc``, ``winograd_tc``
+on tensor cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.conv.direct import direct_convolution
+from repro.conv.fft_conv import fft_applicable, fft_convolution
+from repro.conv.gemm import gemm_convolution
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.winograd import winograd_applicable, winograd_convolution
+
+ConvFn = Callable[[ConvLayerSpec, np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class ConvMethod:
+    """One convolution method: implementation + applicability + resource."""
+
+    name: str
+    run: ConvFn
+    applicable: Callable[[ConvLayerSpec], bool]
+    uses_tensor_cores: bool
+    description: str
+
+    def check(self, spec: ConvLayerSpec) -> None:
+        """Raise ``ValueError`` if this method cannot run ``spec``."""
+        if not self.applicable(spec):
+            raise ValueError(
+                f"method {self.name!r} inapplicable to {spec.qualified_name}"
+            )
+
+
+def _always(spec: ConvLayerSpec) -> bool:
+    return True
+
+
+METHOD_REGISTRY: Dict[str, ConvMethod] = {
+    method.name: method
+    for method in [
+        ConvMethod(
+            name="direct",
+            run=direct_convolution,
+            applicable=_always,
+            uses_tensor_cores=False,
+            description="Sliding-window direct convolution (baseline of Figs 2-3)",
+        ),
+        ConvMethod(
+            name="gemm",
+            run=gemm_convolution,
+            applicable=_always,
+            uses_tensor_cores=False,
+            description="Lowered GEMM convolution on CUDA cores",
+        ),
+        ConvMethod(
+            name="gemm_tc",
+            run=gemm_convolution,
+            applicable=_always,
+            uses_tensor_cores=True,
+            description="Lowered GEMM convolution on tensor cores (implicit GEMM)",
+        ),
+        ConvMethod(
+            name="winograd",
+            run=winograd_convolution,
+            applicable=winograd_applicable,
+            uses_tensor_cores=False,
+            description="Winograd F(2x2,3x3) on CUDA cores",
+        ),
+        ConvMethod(
+            name="winograd_tc",
+            run=winograd_convolution,
+            applicable=winograd_applicable,
+            uses_tensor_cores=True,
+            description="Winograd F(2x2,3x3) with tensor-core product stage",
+        ),
+        ConvMethod(
+            name="fft",
+            run=fft_convolution,
+            applicable=fft_applicable,
+            uses_tensor_cores=False,
+            description="FFT convolution on CUDA cores",
+        ),
+    ]
+}
+
+#: Method order used by the paper's figure legends (direct is the baseline).
+FIGURE_METHODS = ("gemm", "winograd", "fft", "gemm_tc", "winograd_tc")
+
+
+def get_method(name: str) -> ConvMethod:
+    """Look up a method by name, with a helpful error for typos."""
+    try:
+        return METHOD_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown method {name!r}; choose from {sorted(METHOD_REGISTRY)}"
+        ) from None
+
+
+def applicable_methods(spec: ConvLayerSpec) -> List[str]:
+    """Names of all methods that can run ``spec`` (figure-order)."""
+    return [name for name in FIGURE_METHODS
+            if METHOD_REGISTRY[name].applicable(spec)]

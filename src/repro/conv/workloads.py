@@ -1,0 +1,128 @@
+"""Table I of the Duplo paper: the ResNet / GAN / YOLO layer set.
+
+Every figure in the paper's evaluation iterates over these 18
+convolutional layers (8 ResNet, 4 transposed + 4 forward GAN, 6 YOLO)
+at batch size 8.  The specs here transcribe Table I verbatim; layer
+outputs are *not* forced to chain (the paper tabulates representative
+shapes, e.g. ResNet C3's stride-2/pad-0 output does not exactly equal
+C4's input — pooling and the tabulation's rounding sit in between).
+
+DCGAN's generator layers (TC1..TC4) are transposed convolutions with
+``output_padding=1`` so each upsampling exactly doubles the spatial
+size, matching the successive input shapes in the table (4 -> 8 -> 16
+-> 32 -> 64).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.conv.layer import ConvLayerSpec
+
+#: Batch size used throughout the paper's evaluation (Figures 2-12, 14).
+DEFAULT_BATCH = 8
+
+
+def _conv(
+    network: str,
+    name: str,
+    input_nhwc: Tuple[int, int, int, int],
+    filter_khwc: Tuple[int, int, int, int],
+    pad: int,
+    stride: int,
+    transposed: bool = False,
+) -> ConvLayerSpec:
+    n, h, w, c = input_nhwc
+    k, kh, kw, kc = filter_khwc
+    if kc != c:
+        raise ValueError(
+            f"{network}/{name}: filter channels {kc} != input channels {c}"
+        )
+    return ConvLayerSpec(
+        name=name,
+        network=network,
+        batch=n,
+        in_height=h,
+        in_width=w,
+        in_channels=c,
+        num_filters=k,
+        filter_height=kh,
+        filter_width=kw,
+        pad=pad,
+        stride=stride,
+        transposed=transposed,
+        output_pad=1 if transposed else 0,
+    )
+
+
+RESNET_LAYERS: List[ConvLayerSpec] = [
+    _conv("resnet", "C1", (8, 224, 224, 3), (64, 7, 7, 3), pad=3, stride=2),
+    _conv("resnet", "C2", (8, 56, 56, 64), (64, 3, 3, 64), pad=1, stride=1),
+    _conv("resnet", "C3", (8, 56, 56, 64), (128, 3, 3, 64), pad=0, stride=2),
+    _conv("resnet", "C4", (8, 28, 28, 128), (128, 3, 3, 128), pad=1, stride=1),
+    _conv("resnet", "C5", (8, 28, 28, 128), (256, 3, 3, 128), pad=0, stride=2),
+    _conv("resnet", "C6", (8, 14, 14, 256), (256, 3, 3, 256), pad=1, stride=1),
+    _conv("resnet", "C7", (8, 14, 14, 256), (512, 3, 3, 256), pad=0, stride=2),
+    _conv("resnet", "C8", (8, 7, 7, 512), (512, 3, 3, 512), pad=1, stride=1),
+]
+
+GAN_LAYERS: List[ConvLayerSpec] = [
+    _conv("gan", "TC1", (8, 4, 4, 512), (256, 5, 5, 512), pad=2, stride=2,
+          transposed=True),
+    _conv("gan", "TC2", (8, 8, 8, 256), (128, 5, 5, 256), pad=2, stride=2,
+          transposed=True),
+    _conv("gan", "TC3", (8, 16, 16, 128), (64, 5, 5, 128), pad=2, stride=2,
+          transposed=True),
+    _conv("gan", "TC4", (8, 32, 32, 64), (3, 5, 5, 64), pad=2, stride=2,
+          transposed=True),
+    _conv("gan", "C1", (8, 64, 64, 3), (64, 5, 5, 3), pad=2, stride=2),
+    _conv("gan", "C2", (8, 32, 32, 64), (128, 5, 5, 64), pad=2, stride=2),
+    _conv("gan", "C3", (8, 16, 16, 128), (256, 5, 5, 128), pad=2, stride=2),
+    _conv("gan", "C4", (8, 8, 8, 256), (512, 5, 5, 256), pad=2, stride=2),
+]
+
+YOLO_LAYERS: List[ConvLayerSpec] = [
+    _conv("yolo", "C1", (8, 224, 224, 3), (32, 3, 3, 3), pad=1, stride=1),
+    _conv("yolo", "C2", (8, 112, 112, 32), (64, 3, 3, 32), pad=1, stride=1),
+    _conv("yolo", "C3", (8, 56, 56, 64), (128, 3, 3, 64), pad=1, stride=1),
+    _conv("yolo", "C4", (8, 28, 28, 128), (256, 3, 3, 128), pad=1, stride=1),
+    _conv("yolo", "C5", (8, 14, 14, 256), (512, 3, 3, 256), pad=1, stride=1),
+    _conv("yolo", "C6", (8, 7, 7, 512), (1024, 3, 3, 512), pad=1, stride=1),
+]
+
+#: All Table I layers in the order the paper's figures plot them.
+ALL_LAYERS: List[ConvLayerSpec] = RESNET_LAYERS + GAN_LAYERS + YOLO_LAYERS
+
+#: Table I keyed by network name.
+TABLE_I: Dict[str, List[ConvLayerSpec]] = {
+    "resnet": RESNET_LAYERS,
+    "gan": GAN_LAYERS,
+    "yolo": YOLO_LAYERS,
+}
+
+
+def networks() -> Sequence[str]:
+    """Network names in figure order."""
+    return tuple(TABLE_I.keys())
+
+
+def layers_for_network(network: str) -> List[ConvLayerSpec]:
+    """All Table I layers of one network.
+
+    Raises ``KeyError`` with the valid choices for an unknown network.
+    """
+    try:
+        return list(TABLE_I[network])
+    except KeyError:
+        raise KeyError(
+            f"unknown network {network!r}; choose from {sorted(TABLE_I)}"
+        ) from None
+
+
+def get_layer(network: str, name: str) -> ConvLayerSpec:
+    """Look up a single layer, e.g. ``get_layer("resnet", "C2")``."""
+    for layer in layers_for_network(network):
+        if layer.name == name:
+            return layer
+    valid = [layer.name for layer in TABLE_I[network]]
+    raise KeyError(f"no layer {name!r} in {network}; choose from {valid}")

@@ -1,0 +1,115 @@
+"""Derived networks: VGG, DiscoGAN, FCN.
+
+Table I's caption: "many other neural networks can be easily derived
+by using different combinations of convolutional layers shown in the
+table, such as VGG [39], DiscoGAN [16], and fully convolutional
+network (FCN) [38]".  This module derives exactly those three as
+:class:`~repro.conv.dnn.SequentialNetwork` instances, so the whole
+evaluation harness (simulation, duplication census, energy) runs on
+them unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.conv.dnn import PoolLayer, SequentialNetwork, SoftmaxLayer, conv
+
+
+def vgg16(batch: int = 8, resolution: int = 224) -> SequentialNetwork:
+    """VGG-16's thirteen 3x3 convolutions with their pooling stages."""
+    if resolution % 32:
+        raise ValueError("VGG needs a resolution divisible by 32")
+    n = batch
+    r = resolution
+    layers = []
+    channels = 3
+    plan = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    idx = 1
+    for filters, repeats in plan:
+        for _ in range(repeats):
+            layers.append(
+                conv(f"C{idx}", "vgg16", (n, r, r, channels), filters,
+                     kernel=3, pad=1)
+            )
+            channels = filters
+            idx += 1
+        layers.append(PoolLayer())
+        r //= 2
+    layers.append(SoftmaxLayer())
+    return SequentialNetwork("vgg16", layers)
+
+
+def discogan_generator(batch: int = 8, resolution: int = 64) -> SequentialNetwork:
+    """DiscoGAN's encoder/decoder generator (4x4 stride-2 convs).
+
+    Four stride-2 downsampling convolutions followed by four
+    zero-insertion upsampling (transposed) convolutions, mirroring the
+    GAN rows of Table I with DiscoGAN's 4x4 kernels.
+    """
+    if resolution % 16:
+        raise ValueError("DiscoGAN needs a resolution divisible by 16")
+    n = batch
+    r = resolution
+    layers = []
+    channels = 3
+    # Encoder: r -> r/16.
+    for i, filters in enumerate([64, 128, 256, 512], start=1):
+        layers.append(
+            conv(f"E{i}", "discogan", (n, r, r, channels), filters,
+                 kernel=4, pad=1, stride=2)
+        )
+        channels = filters
+        r //= 2
+    # Decoder: transposed convolutions double the resolution back.
+    for i, filters in enumerate([256, 128, 64, 3], start=1):
+        layers.append(
+            conv(f"D{i}", "discogan", (n, r, r, channels), filters,
+                 kernel=4, pad=1, stride=2, transposed=True, output_pad=2,
+                 relu=(filters != 3))
+        )
+        channels = filters
+        r *= 2
+    return SequentialNetwork("discogan", layers)
+
+
+def fcn_head(
+    batch: int = 8, spatial: int = 14, backbone_channels: int = 512,
+    classes: int = 21,
+) -> SequentialNetwork:
+    """FCN's fully convolutional head: fc-as-conv scoring + upsampling.
+
+    The classifier of FCN [38]: a 7x7 convolution standing in for
+    fc6, 1x1 convolutions for fc7 and the class scores, then a
+    transposed convolution upsampling the score map (the 2x stage of
+    FCN-16/8; the full 32x bilinear stage is a fixed filter with the
+    same geometry).
+    """
+    n = batch
+    s = spatial
+    layers = [
+        conv("fc6", "fcn", (n, s, s, backbone_channels), 1024,
+             kernel=7, pad=3),
+        conv("fc7", "fcn", (n, s, s, 1024), 1024, kernel=1, pad=0),
+        conv("score", "fcn", (n, s, s, 1024), classes, kernel=1, pad=0,
+             relu=False),
+        conv("up2", "fcn", (n, s, s, classes), classes, kernel=4, pad=1,
+             stride=2, transposed=True, output_pad=2, relu=False),
+        SoftmaxLayer(),
+    ]
+    return SequentialNetwork("fcn", layers)
+
+
+#: Builders by name, for the CLI and tests.
+ZOO = {
+    "vgg16": vgg16,
+    "discogan": discogan_generator,
+    "fcn": fcn_head,
+}
+
+
+def build(name: str, batch: int = 8, **kwargs) -> SequentialNetwork:
+    """Instantiate a derived network by name."""
+    try:
+        builder = ZOO[name]
+    except KeyError:
+        raise KeyError(f"unknown network {name!r}; choose from {sorted(ZOO)}")
+    return builder(batch=batch, **kwargs)

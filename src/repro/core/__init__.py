@@ -1,0 +1,31 @@
+"""Duplo's contribution: duplicate detection and elimination machinery.
+
+* :mod:`repro.core.idgen` — maps workspace memory addresses to
+  ``(batch_id, element_id)`` pairs (Section III of the paper);
+* :mod:`repro.core.lhb` — the load history buffer (Section IV-B);
+* :mod:`repro.core.renaming` — warp-granular register renaming;
+* :mod:`repro.core.detection` — the detection unit wiring ID generation,
+  LHB lookup, and renaming together (Figure 8);
+* :mod:`repro.core.compiler` — compile-time convolution info (Section
+  IV-A) and the compiler-only alternative's costs (Section IV-D).
+"""
+
+from repro.core.compiler import ConvolutionInfo, build_convolution_info
+from repro.core.detection import DetectionUnit, LoadOutcome
+from repro.core.idgen import IDGenerator, IDMode, paper_ids, canonical_ids
+from repro.core.lhb import LoadHistoryBuffer, LHBStats
+from repro.core.renaming import RegisterRenamingTable
+
+__all__ = [
+    "ConvolutionInfo",
+    "build_convolution_info",
+    "DetectionUnit",
+    "LoadOutcome",
+    "IDGenerator",
+    "IDMode",
+    "paper_ids",
+    "canonical_ids",
+    "LoadHistoryBuffer",
+    "LHBStats",
+    "RegisterRenamingTable",
+]

@@ -1,0 +1,128 @@
+"""Compiler support (Section IV-A) and compiler-only costs (IV-D).
+
+Duplo's compiler emits a small per-kernel blob of convolution
+information — input/filter dimensions, striding distance, batch size,
+and the workspace's starting address — stored in global memory and
+loaded into the detection unit at kernel launch.  The paper sizes it
+at 32 bytes per kernel; :meth:`ConvolutionInfo.encoded_bytes` checks
+our encoding stays within that budget.
+
+Section IV-D argues compiler-*only* alternatives fail: warp-to-warp
+register moves are impossible without hardware (warp mapping is a
+runtime property), and tagging every tensor-core load offline needs
+tag storage proportional to the dynamic load count (~27.2 GB for YOLO
+C2 by the paper's accounting).  :func:`compiler_only_tag_bytes`
+reproduces that arithmetic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.lowering import workspace_shape
+
+
+@dataclass(frozen=True)
+class ConvolutionInfo:
+    """The compile-time blob programmed into the detection unit.
+
+    All fields describe the *effective* convolution (transposed layers
+    are already rewritten to their unit-stride equivalent by the time
+    a kernel exists).
+    """
+
+    input_width: int
+    input_height: int
+    input_channels: int
+    filter_width: int
+    filter_height: int
+    stride: int
+    batch: int
+    pad: int
+    output_width: int
+    output_height: int
+    workspace_base: int
+    lda: int  # workspace leading dimension, in elements
+    element_bytes: int = 2
+    pid: int = 0
+
+    #: Struct layout: 10 u16 geometry fields + u64 base + u16 lda + u16 misc.
+    _FORMAT = "<10HQ2H"
+
+    def encode(self) -> bytes:
+        """Serialise as the global-memory blob the GPU loads at launch."""
+        return struct.pack(
+            self._FORMAT,
+            self.input_width,
+            self.input_height,
+            min(self.input_channels, 0xFFFF),
+            self.filter_width,
+            self.filter_height,
+            self.stride,
+            self.batch,
+            self.pad,
+            self.output_width,
+            self.output_height,
+            self.workspace_base,
+            min(self.lda, 0xFFFF),
+            (self.element_bytes & 0xF) | ((self.pid & 0xFFF) << 4),
+        )
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Size of the blob; the paper budgets 32 bytes per kernel."""
+        return struct.calcsize(self._FORMAT)
+
+
+def build_convolution_info(
+    spec: ConvLayerSpec,
+    workspace_base: int,
+    lda: int = 0,
+    element_bytes: int = 2,
+    pid: int = 0,
+) -> ConvolutionInfo:
+    """Compile a layer spec into the detection unit's programming.
+
+    ``lda`` defaults to the workspace column count rounded up to the
+    16-element tensor-core tile, matching the kernel's allocation.
+    """
+    eff = spec.effective_spec()
+    _, cols = workspace_shape(spec)
+    if lda == 0:
+        lda = -(-cols // 16) * 16
+    out = eff.output_shape
+    return ConvolutionInfo(
+        input_width=eff.in_width,
+        input_height=eff.in_height,
+        input_channels=eff.in_channels,
+        filter_width=eff.filter_width,
+        filter_height=eff.filter_height,
+        stride=eff.stride,
+        batch=eff.batch,
+        pad=eff.pad,
+        output_width=out.width,
+        output_height=out.height,
+        workspace_base=workspace_base,
+        lda=lda,
+        element_bytes=element_bytes,
+        pid=pid,
+    )
+
+
+def compiler_only_tag_bytes(
+    dynamic_loads: int, tag_bytes_per_load: int = 4000
+) -> int:
+    """Storage a compiler-only tagging scheme would need (Section IV-D).
+
+    The paper quotes ~6.8 million tensor-core loads for YOLO C2 and a
+    27.2 GB tag store, i.e. 4 KB of offline tag state per dynamic
+    load (per-thread replication of the per-register tags: 32 threads
+    x 8 destination registers x a 16-byte [element, batch, PID,
+    register] record).  The per-load cost is a parameter so the
+    minimal 4-byte-per-load variant can be compared.
+    """
+    if dynamic_loads < 0:
+        raise ValueError(f"dynamic_loads must be >= 0, got {dynamic_loads}")
+    return dynamic_loads * tag_bytes_per_load

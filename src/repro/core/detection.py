@@ -1,0 +1,166 @@
+"""The Duplo detection unit (Figure 8): ID generator + LHB + renaming.
+
+One detection unit sits next to each SM's LDST unit.  It is
+power-gated until a convolution kernel launches, at which point the
+compiler-generated :class:`~repro.core.compiler.ConvolutionInfo`
+programs the ID generator.  Every tensor-core load then flows through
+:meth:`DetectionUnit.process_load`:
+
+1. the ID generator checks whether the address falls in the workspace
+   region (non-workspace loads bypass to L1 untouched — Table II
+   instruction #2);
+2. the LHB is probed with the generated ``(element, batch, PID)`` tag,
+   in parallel with the L1 lookup;
+3. a hit renames the destination register to the holder and cancels
+   the memory request; a miss lets the request proceed and allocates
+   an entry recording the fresh destination register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.conv.layer import ConvLayerSpec
+from repro.core.compiler import ConvolutionInfo
+from repro.core.idgen import IDGenerator, IDMode
+from repro.core.lhb import LoadHistoryBuffer
+from repro.core.renaming import RegisterRenamingTable
+
+
+@dataclass(frozen=True)
+class LoadOutcome:
+    """What the detection unit decided for one tensor-core load."""
+
+    in_workspace: bool
+    eliminated: bool
+    phys_reg: int
+    element_id: int = -1
+    batch_id: int = -1
+
+    @property
+    def issues_memory_request(self) -> bool:
+        """True when the load must still traverse the memory hierarchy."""
+        return not self.eliminated
+
+
+class DetectionUnit:
+    """Per-SM duplicate-load detection (Figure 8).
+
+    Parameters mirror the paper's design space: LHB geometry and the
+    ID mode (canonical ground truth by default; ``IDMode.PAPER`` for
+    the published closed-form formulas).
+    """
+
+    def __init__(
+        self,
+        lhb: Optional[LoadHistoryBuffer] = None,
+        renaming: Optional[RegisterRenamingTable] = None,
+        id_mode: IDMode = IDMode.CANONICAL,
+        merge_padding: bool = False,
+        latency_cycles: int = 2,
+    ):
+        if latency_cycles < 1:
+            raise ValueError(f"latency must be >= 1 cycle, got {latency_cycles}")
+        self.lhb = lhb if lhb is not None else LoadHistoryBuffer()
+        self.renaming = renaming if renaming is not None else RegisterRenamingTable()
+        self.id_mode = id_mode
+        self.merge_padding = merge_padding
+        self.latency_cycles = latency_cycles
+        self._idgen: Optional[IDGenerator] = None
+        self.powered = False
+
+    # ------------------------------------------------------------------
+    # Kernel lifecycle
+    # ------------------------------------------------------------------
+    def program(
+        self, spec: ConvLayerSpec, info: ConvolutionInfo
+    ) -> None:
+        """Wake the unit and program the ID generator at kernel launch."""
+        self._idgen = IDGenerator(
+            spec=spec,
+            workspace_base=info.workspace_base,
+            lda=info.lda,
+            element_bytes=info.element_bytes,
+            mode=self.id_mode,
+            merge_padding=self.merge_padding,
+        )
+        self._pid = info.pid
+        self.powered = True
+        self.lhb.flush()
+
+    def power_gate(self) -> None:
+        """Return to the gated idle state (kernel completion)."""
+        self.powered = False
+        self._idgen = None
+        self.lhb.flush()
+
+    @property
+    def idgen(self) -> IDGenerator:
+        if self._idgen is None:
+            raise RuntimeError("detection unit not programmed (kernel not launched)")
+        return self._idgen
+
+    # ------------------------------------------------------------------
+    # Per-load path
+    # ------------------------------------------------------------------
+    def process_load(self, warp: int, dest_reg: int, address: int) -> LoadOutcome:
+        """Handle one tensor-core load issued by ``warp``.
+
+        Returns whether the load was eliminated and which physical
+        register the destination now names.
+        """
+        if not self.powered:
+            phys = self.renaming.define(warp, dest_reg)
+            return LoadOutcome(in_workspace=False, eliminated=False, phys_reg=phys)
+        generated = self.idgen.generate(address)
+        if not generated.in_workspace:
+            phys = self.renaming.define(warp, dest_reg)
+            return LoadOutcome(in_workspace=False, eliminated=False, phys_reg=phys)
+
+        # A fresh physical register must exist before the LHB access so
+        # a miss can record it; an LHB hit hands it straight back.
+        phys = self.renaming.define(warp, dest_reg)
+        result = self.lhb.access(
+            element_id=generated.element_id,
+            batch_id=generated.batch_id,
+            dest_reg=phys,
+            pid=self._pid,
+        )
+        if result.hit and result.reg != phys:
+            # Renaming may fail only if the holder was recycled; the
+            # LHB lifetime window is what prevents that in practice.
+            if self.renaming.regfile.refcount(result.reg) > 0:
+                phys_target = self.renaming.alias(warp, dest_reg, result.reg)
+                return LoadOutcome(
+                    in_workspace=True,
+                    eliminated=True,
+                    phys_reg=phys_target,
+                    element_id=generated.element_id,
+                    batch_id=generated.batch_id,
+                )
+        return LoadOutcome(
+            in_workspace=True,
+            eliminated=result.hit,
+            phys_reg=result.reg if result.hit else phys,
+            element_id=generated.element_id,
+            batch_id=generated.batch_id,
+        )
+
+    def process_store(self, address: int) -> bool:
+        """Release the LHB entry matching a store's tags (Section IV-B).
+
+        Returns True if an entry was invalidated.  The paper never
+        observed this in the GEMM kernels; the hook exists for
+        consistency.
+        """
+        if not self.powered:
+            return False
+        generated = self.idgen.generate(address)
+        if not generated.in_workspace:
+            return False
+        return self.lhb.invalidate(
+            element_id=generated.element_id,
+            batch_id=generated.batch_id,
+            pid=self._pid,
+        )

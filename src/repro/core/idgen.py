@@ -1,0 +1,266 @@
+"""ID generation: mapping workspace addresses to duplicate-detecting IDs.
+
+Section III of the paper assigns every workspace entry a
+``(batch_id, element_id)`` pair such that two entries carry the same
+data iff they receive the same pair.  This module implements the
+identification mechanism in three flavours:
+
+``IDMode.PAPER``
+    The closed-form formulas exactly as published (Sections III-B and
+    III-C: patch IDs, per-patch offsets, and the multi-channel /
+    non-unit-stride / multi-batch extensions).  Validated against the
+    Figure 6 worked example.
+
+``IDMode.CANONICAL``
+    The exact ground truth: invert the im2col map and use the padded
+    input coordinate as the element ID (``repro.conv.lowering``).  Two
+    entries share a canonical pair iff they are true duplicates, so
+    this is what the simulator uses by default (DESIGN.md documents
+    the substitution).
+
+``IDMode.STRICT``
+    Canonical IDs extended with the output-column phase ``ox``.  A
+    tensor-core load covers a 16x16 tile but the LHB tags only its
+    base address; diagonal (intra-patch) duplicates whose tiles
+    straddle an output-row wrap can then alias tiles that are not
+    fully identical.  STRICT refuses those matches — an ablation
+    quantifying how much of Duplo's benefit rides on the paper's
+    tile-equality assumption.
+
+All three are exposed both entry-wise and vectorised over NumPy
+arrays; :class:`IDGenerator` adds the address arithmetic (workspace
+region check, address -> (row, col)) from Section IV-A.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.lowering import entries_to_padded_flat, workspace_shape
+
+
+class IDMode(enum.Enum):
+    """Which identification formula the generator applies."""
+
+    PAPER = "paper"
+    CANONICAL = "canonical"
+    STRICT = "strict"
+
+
+# ----------------------------------------------------------------------
+# Published closed-form formulas (Sections III-B / III-C)
+# ----------------------------------------------------------------------
+
+def paper_patch_ids(
+    spec: ConvLayerSpec, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Patch IDs per Section III: identical patches get identical IDs.
+
+    ``patch_id = patch_row_idx * stride + patch_col_idx`` where the
+    row index divides the workspace row by the output height and the
+    column index divides the workspace column by the filter width
+    (times channels, per the III-C generalisation).
+    """
+    eff = spec.effective_spec()
+    out = eff.output_shape
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    patch_row_idx = rows // out.height
+    patch_col_idx = cols // (eff.filter_width * eff.in_channels)
+    return patch_row_idx * eff.stride + patch_col_idx
+
+
+def paper_ids(
+    spec: ConvLayerSpec, rows: np.ndarray, cols: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(batch_id, element_id)`` via the published formulas.
+
+    Verbatim Section III-C (which reduces to III-B for single-channel,
+    unit-stride inputs)::
+
+        batch_id   = worksp_row_idx / (output_width * output_height)
+        offset     = patch_id * input_width * num_channels
+        element_id = worksp_row_idx % output_width
+                       * num_channels * stride_dist
+                   + worksp_col_idx % (filter_width * num_channels)
+                   + offset
+
+    The formulas assume the tabulated square-output geometry; tests
+    characterise exactly where they agree with the canonical ground
+    truth (they do on the paper's Figure 6 example and on all
+    interior, non-padding entries of unit-stride layers).
+    """
+    eff = spec.effective_spec()
+    out = eff.output_shape
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    batch_id = rows // (out.width * out.height)
+    patch_id = paper_patch_ids(spec, rows % (out.width * out.height), cols)
+    offset = patch_id * eff.in_width * eff.in_channels
+    element_id = (
+        (rows % out.width) * eff.in_channels * eff.stride
+        + cols % (eff.filter_width * eff.in_channels)
+        + offset
+    )
+    return batch_id, element_id
+
+
+def canonical_ids(
+    spec: ConvLayerSpec,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    merge_padding: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact ``(batch_id, element_id)`` via the inverse im2col map."""
+    return entries_to_padded_flat(spec, rows, cols, merge_padding=merge_padding)
+
+
+def strict_ids(
+    spec: ConvLayerSpec,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    merge_padding: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Canonical IDs disambiguated by output-column phase.
+
+    Appends ``ox`` (the output column of the workspace row) to the
+    element ID so only loads whose 16x16 tiles advance identically can
+    match.  See the module docstring and the tile-aliasing ablation.
+    """
+    eff = spec.effective_spec()
+    out = eff.output_shape
+    rows = np.asarray(rows, dtype=np.int64)
+    batch_id, element_id = canonical_ids(spec, rows, cols, merge_padding)
+    ox = rows % out.width
+    return batch_id, element_id * out.width + ox
+
+
+@dataclass(frozen=True)
+class GeneratedID:
+    """Result of translating one load address."""
+
+    in_workspace: bool
+    batch_id: int = -1
+    element_id: int = -1
+    row: int = -1
+    col: int = -1
+
+
+class IDGenerator:
+    """The detection unit's address translator (Section IV-A).
+
+    Programmed at kernel launch with the compile-time convolution
+    information (dimensions, stride, batch size, workspace base
+    address and leading dimension); thereafter translates tensor-core
+    load addresses into ``(batch_id, element_id)`` pairs.  Addresses
+    outside the workspace region report ``in_workspace=False`` and
+    bypass the LHB, exactly as instruction #2 does in Table II.
+
+    The hardware unit restricts data dimensions to powers of two so
+    the divide/modulo chain reduces to shifts and masks; this model
+    computes the same arithmetic exactly and therefore accepts any
+    dimensions (the restriction is a circuit simplification, not a
+    semantic one).
+    """
+
+    def __init__(
+        self,
+        spec: ConvLayerSpec,
+        workspace_base: int,
+        lda: int,
+        element_bytes: int = 2,
+        mode: IDMode = IDMode.CANONICAL,
+        merge_padding: bool = False,
+    ):
+        eff = spec.effective_spec()
+        rows, cols = workspace_shape(spec)
+        if lda < cols:
+            raise ValueError(f"leading dimension {lda} < workspace cols {cols}")
+        self.spec = spec
+        self.effective = eff
+        self.workspace_base = workspace_base
+        self.lda = lda
+        self.element_bytes = element_bytes
+        self.mode = mode
+        self.merge_padding = merge_padding
+        self.logical_rows = rows
+        self.logical_cols = cols
+        # The workspace region spans the padded allocation.
+        rows_padded = -(-rows // 16) * 16
+        self.workspace_end = workspace_base + rows_padded * lda * element_bytes
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` lies in the workspace region."""
+        return self.workspace_base <= address < self.workspace_end
+
+    def address_to_entry(self, address: int) -> Tuple[int, int]:
+        """Translate an in-workspace address to its (row, col) entry."""
+        if not self.contains(address):
+            raise ValueError(f"address {address:#x} outside workspace region")
+        offset = address - self.workspace_base
+        if offset % self.element_bytes:
+            raise ValueError(f"address {address:#x} not element-aligned")
+        array_idx = offset // self.element_bytes
+        return divmod(array_idx, self.lda)
+
+    def generate(self, address: int) -> GeneratedID:
+        """Translate one load address (scalar path, used by Table II)."""
+        if not self.contains(address):
+            return GeneratedID(in_workspace=False)
+        row, col = self.address_to_entry(address)
+        if row >= self.logical_rows or col >= self.logical_cols:
+            # Alignment-padding entry: zero fill, never duplicated.
+            return GeneratedID(in_workspace=False, row=row, col=col)
+        batch, element = self.generate_many(
+            np.array([row]), np.array([col])
+        )
+        return GeneratedID(
+            in_workspace=True,
+            batch_id=int(batch[0]),
+            element_id=int(element[0]),
+            row=row,
+            col=col,
+        )
+
+    def generate_many(
+        self, rows: np.ndarray, cols: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised ID generation for workspace entries."""
+        if self.mode is IDMode.PAPER:
+            return paper_ids(self.spec, rows, cols)
+        if self.mode is IDMode.STRICT:
+            return strict_ids(self.spec, rows, cols, self.merge_padding)
+        return canonical_ids(self.spec, rows, cols, self.merge_padding)
+
+    def generate_for_addresses(
+        self, addresses: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised translation of raw addresses.
+
+        Returns ``(in_workspace, batch_id, element_id)`` arrays; the ID
+        entries of out-of-workspace addresses are undefined (-1).
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        offset = addresses - self.workspace_base
+        array_idx = offset // self.element_bytes
+        rows = array_idx // self.lda
+        cols = array_idx - rows * self.lda
+        ok = (
+            (addresses >= self.workspace_base)
+            & (addresses < self.workspace_end)
+            & (offset % self.element_bytes == 0)
+            & (rows < self.logical_rows)
+            & (cols < self.logical_cols)
+        )
+        batch = np.full(addresses.shape, -1, dtype=np.int64)
+        element = np.full(addresses.shape, -1, dtype=np.int64)
+        if ok.any():
+            b, e = self.generate_many(rows[ok], cols[ok])
+            batch[ok] = b
+            element[ok] = e
+        return ok, batch, element

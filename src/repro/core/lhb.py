@@ -1,0 +1,302 @@
+"""The load history buffer (LHB), Section IV-B of the paper.
+
+The LHB records, per SM, which physical warp register holds each
+recently loaded workspace datum.  Every tensor-core load consults it:
+
+* **hit** — a preceding load already fetched the same
+  ``(element_id, batch_id, pid)`` tag and its value is still live in
+  the register file, so the load is eliminated and its destination is
+  renamed to the recorded register;
+* **miss** — the request proceeds to L1 and a new entry is allocated
+  (possibly replacing a conflicting one — the paper's "entry
+  replacement" in Table II).
+
+Entry lifetime follows the paper's retirement rule: an entry is
+released when its producing load retires, *unless* continuous hits
+relay the register to later loads, extending its effective lifetime.
+We model retirement as a sliding window of ``lifetime`` subsequent
+warp-level loads on the same SM (a hit refreshes the window), which is
+what makes even an infinite ("oracle") LHB saturate below the
+theoretical duplicate fraction (Section V-C: ~76% vs. 88.9%).
+
+Organisations: direct-mapped (the paper's default), N-way
+set-associative with LRU (Figure 12), and unbounded oracle
+(``num_entries=None``).  The paper's 1024-entry direct-mapped default
+indexes with the low 10 bits of the element ID and tags with the rest
+plus the batch ID and PID; we keep exactly that split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+Tag = Tuple[int, int, int]  # (element_id, batch_id, pid)
+
+#: Lifetime value meaning "registers never retire" (theoretical bound).
+INFINITE_LIFETIME = None
+
+
+@dataclass
+class LHBStats:
+    """Counters the evaluation section plots."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    compulsory_misses: int = 0
+    conflict_replacements: int = 0
+    expired_misses: int = 0
+    store_invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of workspace-load lookups that hit (Figure 10)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "LHBStats") -> "LHBStats":
+        """Aggregate counters across SMs or layers."""
+        return LHBStats(
+            lookups=self.lookups + other.lookups,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            compulsory_misses=self.compulsory_misses + other.compulsory_misses,
+            conflict_replacements=(
+                self.conflict_replacements + other.conflict_replacements
+            ),
+            expired_misses=self.expired_misses + other.expired_misses,
+            store_invalidations=(
+                self.store_invalidations + other.store_invalidations
+            ),
+        )
+
+
+@dataclass
+class _Entry:
+    """One LHB entry: tag, recorded register, and liveness horizon."""
+
+    tag: Tag
+    reg: int
+    expires_at: Optional[int]
+    last_use: int = 0
+
+
+@dataclass(frozen=True)
+class LHBResult:
+    """Outcome of one LHB access."""
+
+    hit: bool
+    reg: int  # register holding the datum (existing on hit, new on miss)
+
+
+class LoadHistoryBuffer:
+    """Direct-mapped / set-associative / oracle LHB.
+
+    Parameters
+    ----------
+    num_entries:
+        Total entries, or ``None`` for the oracle (unbounded) buffer.
+    assoc:
+        Ways per set; 1 is the paper's direct-mapped default.
+    lifetime:
+        Retirement window in subsequent warp-level loads; ``None``
+        models registers that never retire (theoretical upper bound).
+    """
+
+    def __init__(
+        self,
+        num_entries: Optional[int] = 1024,
+        assoc: int = 1,
+        lifetime: Optional[int] = 4096,
+        hashed_index: bool = True,
+    ):
+        if num_entries is not None:
+            if num_entries < 1:
+                raise ValueError(f"num_entries must be >= 1, got {num_entries}")
+            if assoc < 1 or num_entries % assoc:
+                raise ValueError(
+                    f"associativity {assoc} must divide num_entries {num_entries}"
+                )
+        if lifetime is not None and lifetime < 1:
+            raise ValueError(f"lifetime must be >= 1 or None, got {lifetime}")
+        self.num_entries = num_entries
+        self.assoc = assoc
+        self.lifetime = lifetime
+        self.hashed_index = hashed_index
+        self.stats = LHBStats()
+        self._seq = 0
+        if num_entries is None:
+            self._oracle: Dict[Tag, _Entry] = {}
+            self._sets: List[List[_Entry]] = []
+            self.num_sets = 0
+        else:
+            self.num_sets = num_entries // assoc
+            self._sets = [[] for _ in range(self.num_sets)]
+            self._oracle = {}
+        self._seen_tags: set = set()
+
+    @property
+    def is_oracle(self) -> bool:
+        """True for the unbounded buffer the paper labels "oracle"."""
+        return self.num_entries is None
+
+    # ------------------------------------------------------------------
+    # Core access path
+    # ------------------------------------------------------------------
+    def _index(self, element_id: int) -> int:
+        """Set index for an element ID.
+
+        The paper slices the low 10 bits of the element ID.  Element
+        IDs of concurrently live loads differ by multiples of the
+        (power-of-two) channel count, so a plain low-bit slice
+        collapses onto a handful of sets; the default XOR-folds the
+        upper bits in (the standard index hash of GPU caches/TLBs —
+        the one indexing liberty this model takes, kept switchable via
+        ``hashed_index`` for the ablation bench).
+        """
+        if self.hashed_index:
+            # Fibonacci-multiplicative mix (cheap in hardware: one
+            # multiply-by-constant, or an XOR tree of shifted copies).
+            element_id = (element_id * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            element_id ^= element_id >> 29
+        return element_id % self.num_sets
+
+    def _alive(self, entry: _Entry) -> bool:
+        return entry.expires_at is None or self._seq < entry.expires_at
+
+    def _expiry(self) -> Optional[int]:
+        if self.lifetime is None:
+            return None
+        return self._seq + self.lifetime
+
+    def access(
+        self, element_id: int, batch_id: int, dest_reg: int, pid: int = 0
+    ) -> LHBResult:
+        """Look up one tensor-core load; allocate on miss.
+
+        ``dest_reg`` is the physical register the load would write; on
+        a hit the returned register is the *existing* holder (the
+        renaming target), and the hit relays the entry's lifetime.
+        """
+        self._seq += 1
+        self.stats.lookups += 1
+        tag: Tag = (element_id, batch_id, pid)
+
+        if self.is_oracle:
+            entry = self._oracle.get(tag)
+            if entry is not None and self._alive(entry):
+                return self._hit(entry)
+            if entry is not None:
+                self.stats.expired_misses += 1
+            return self._miss_oracle(tag, dest_reg)
+
+        index = self._index(element_id)
+        ways = self._sets[index]
+        for entry in ways:
+            if entry.tag == tag:
+                if self._alive(entry):
+                    return self._hit(entry)
+                ways.remove(entry)
+                self.stats.expired_misses += 1
+                break
+        return self._miss_set(ways, tag, dest_reg)
+
+    def _hit(self, entry: _Entry) -> LHBResult:
+        self.stats.hits += 1
+        entry.expires_at = self._expiry()  # relay
+        entry.last_use = self._seq
+        return LHBResult(hit=True, reg=entry.reg)
+
+    def _miss_oracle(self, tag: Tag, dest_reg: int) -> LHBResult:
+        self._count_miss(tag)
+        self._oracle[tag] = _Entry(
+            tag=tag, reg=dest_reg, expires_at=self._expiry(), last_use=self._seq
+        )
+        return LHBResult(hit=False, reg=dest_reg)
+
+    def _miss_set(
+        self, ways: List[_Entry], tag: Tag, dest_reg: int
+    ) -> LHBResult:
+        self._count_miss(tag)
+        entry = _Entry(
+            tag=tag, reg=dest_reg, expires_at=self._expiry(), last_use=self._seq
+        )
+        if len(ways) >= self.assoc:
+            # Prefer evicting a dead entry, else true LRU (Table II's
+            # "entry replacement" step for the direct-mapped case).
+            victim = min(
+                ways, key=lambda e: (self._alive(e), e.last_use)
+            )
+            ways.remove(victim)
+            if self._alive(victim):
+                self.stats.conflict_replacements += 1
+        ways.append(entry)
+        return LHBResult(hit=False, reg=dest_reg)
+
+    def _count_miss(self, tag: Tag) -> None:
+        self.stats.misses += 1
+        if tag not in self._seen_tags:
+            self._seen_tags.add(tag)
+            self.stats.compulsory_misses += 1
+
+    # ------------------------------------------------------------------
+    # Consistency hooks
+    # ------------------------------------------------------------------
+    def invalidate(self, element_id: int, batch_id: int, pid: int = 0) -> bool:
+        """Release the entry matching a store's tags (Section IV-B).
+
+        Returns True if an entry was released.  The paper notes this
+        never fired in their experiments (GEMM kernels do not store to
+        the workspace); our tests exercise it anyway.
+        """
+        tag: Tag = (element_id, batch_id, pid)
+        if self.is_oracle:
+            if tag in self._oracle:
+                del self._oracle[tag]
+                self.stats.store_invalidations += 1
+                return True
+            return False
+        ways = self._sets[self._index(element_id)]
+        for entry in ways:
+            if entry.tag == tag:
+                ways.remove(entry)
+                self.stats.store_invalidations += 1
+                return True
+        return False
+
+    def flush(self) -> None:
+        """Drop all entries (kernel boundary / power-gating)."""
+        if self.is_oracle:
+            self._oracle.clear()
+        else:
+            for ways in self._sets:
+                ways.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def live_entries(self) -> int:
+        """Number of currently valid (non-expired) entries."""
+        if self.is_oracle:
+            return sum(self._alive(e) for e in self._oracle.values())
+        return sum(self._alive(e) for ways in self._sets for e in ways)
+
+    def storage_bits(self, tag_bits: int = 42, reg_bits: int = 10) -> int:
+        """Raw storage of the buffer (Section V-H area accounting).
+
+        Paper split: 32-bit element ID (22 tag bits above the 10 index
+        bits) + 10-bit batch ID + PID as tag, 10-bit physical register
+        ID per entry.
+        """
+        if self.is_oracle:
+            raise ValueError("oracle LHB has no physical storage")
+        return self.num_entries * (tag_bits + reg_bits)
+
+    def __repr__(self) -> str:
+        size = "oracle" if self.is_oracle else str(self.num_entries)
+        return (
+            f"LoadHistoryBuffer(entries={size}, assoc={self.assoc}, "
+            f"lifetime={self.lifetime}, hit_rate={self.stats.hit_rate:.3f})"
+        )

@@ -1,0 +1,134 @@
+"""Warp-granular register renaming (Section IV-B, after Kim et al.).
+
+Duplo reuses the WIR-style renaming substrate: each warp's
+architectural registers map through a renaming table to physical
+registers.  A normal instruction allocates a fresh physical register
+for its destination; a tensor-core load that hits in the LHB instead
+maps its destination onto the physical register already holding the
+value, so subsequent readers source the duplicate for free.
+
+Renaming happens at *warp* granularity: tensor-core fragments are
+collectively owned by the 32 threads of a warp, so "one register"
+here is one warp-wide register (32 threads x 32 bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class RenamingStats:
+    """Bookkeeping the energy model and Table II reproduction read."""
+
+    allocations: int = 0
+    reuse_renames: int = 0
+    releases: int = 0
+
+
+class PhysicalRegisterFile:
+    """Pool of warp-wide physical registers with reference counts.
+
+    A physical register stays allocated while any architectural
+    mapping (from any warp — Duplo shares values *across* warps) still
+    points at it.
+    """
+
+    def __init__(self, num_registers: int):
+        if num_registers < 1:
+            raise ValueError(f"need at least one register, got {num_registers}")
+        self.num_registers = num_registers
+        self._free = list(range(num_registers - 1, -1, -1))
+        self._refcount: Dict[int, int] = {}
+
+    @property
+    def allocated(self) -> int:
+        return len(self._refcount)
+
+    def allocate(self) -> int:
+        """Claim a free physical register (refcount 1)."""
+        if not self._free:
+            raise RuntimeError("physical register file exhausted")
+        reg = self._free.pop()
+        self._refcount[reg] = 1
+        return reg
+
+    def share(self, reg: int) -> None:
+        """Add a reference to an already-allocated register."""
+        if reg not in self._refcount:
+            raise KeyError(f"register {reg} is not allocated")
+        self._refcount[reg] += 1
+
+    def release(self, reg: int) -> None:
+        """Drop one reference; free the register at zero."""
+        if reg not in self._refcount:
+            raise KeyError(f"register {reg} is not allocated")
+        self._refcount[reg] -= 1
+        if self._refcount[reg] == 0:
+            del self._refcount[reg]
+            self._free.append(reg)
+
+    def refcount(self, reg: int) -> int:
+        return self._refcount.get(reg, 0)
+
+
+class RegisterRenamingTable:
+    """Maps (warp, architectural register) -> physical register.
+
+    The two operations Duplo needs (Figure 7):
+
+    * :meth:`define` — a normal destination write: allocate a fresh
+      physical register and record the mapping;
+    * :meth:`alias` — an LHB hit: point the destination at the
+      physical register that already holds the value.
+    """
+
+    #: Warp-wide registers in a 256 KB SM register file (Table III):
+    #: 256 KB / (32 threads x 4 bytes) = 2048.
+    DEFAULT_POOL = 2048
+
+    def __init__(self, regfile: Optional[PhysicalRegisterFile] = None):
+        self.regfile = regfile or PhysicalRegisterFile(self.DEFAULT_POOL)
+        self._map: Dict[Tuple[int, int], int] = {}
+        self.stats = RenamingStats()
+
+    def lookup(self, warp: int, arch_reg: int) -> Optional[int]:
+        """Physical register currently mapped, or None."""
+        return self._map.get((warp, arch_reg))
+
+    def _unmap(self, key: Tuple[int, int]) -> None:
+        old = self._map.pop(key, None)
+        if old is not None:
+            self.regfile.release(old)
+            self.stats.releases += 1
+
+    def define(self, warp: int, arch_reg: int) -> int:
+        """Bind ``arch_reg`` of ``warp`` to a fresh physical register."""
+        key = (warp, arch_reg)
+        self._unmap(key)
+        phys = self.regfile.allocate()
+        self._map[key] = phys
+        self.stats.allocations += 1
+        return phys
+
+    def alias(self, warp: int, arch_reg: int, phys: int) -> int:
+        """Bind ``arch_reg`` of ``warp`` to an existing physical register.
+
+        This is the LHB-hit path: the duplicate load is skipped and the
+        destination becomes another name for the register that already
+        holds the datum.
+        """
+        key = (warp, arch_reg)
+        self._unmap(key)
+        self.regfile.share(phys)
+        self._map[key] = phys
+        self.stats.reuse_renames += 1
+        return phys
+
+    def retire(self, warp: int, arch_reg: int) -> None:
+        """Release a mapping when its value is dead."""
+        self._unmap((warp, arch_reg))
+
+    def mapping_count(self) -> int:
+        return len(self._map)

@@ -1,0 +1,128 @@
+"""ID-scheme verification: is an identification formula safe to deploy?
+
+Duplo's correctness rests entirely on one property of the ID scheme
+the compiler programs: two workspace entries that receive the same
+``(batch, element)`` pair must hold the same value (**soundness** —
+violating it corrupts results), and ideally every pair of duplicated
+entries receives the same pair (**completeness** — missing pairs only
+costs performance).
+
+This module checks both properties *exhaustively* for a layer by
+materialising the canonical equivalence classes (the exact inverse
+im2col map) and comparing them against the classes any candidate ID
+mode induces.  A hardware vendor shipping Duplo would run exactly this
+check over its supported configuration space; our tests run it over
+the paper's Figure 6 example, the Table I layers, and randomized
+geometries to characterise where the published Section III formulas
+hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.lowering import workspace_shape
+from repro.core.idgen import IDMode, canonical_ids, paper_ids, strict_ids
+
+
+@dataclass(frozen=True)
+class IDSchemeReport:
+    """Outcome of verifying one ID mode on one layer.
+
+    ``sound`` — no ID groups two entries with different values;
+    ``complete`` — every true duplicate pair shares an ID;
+    the counts quantify how far off an unsound/incomplete scheme is.
+    """
+
+    spec: ConvLayerSpec
+    mode: IDMode
+    entries: int
+    canonical_classes: int
+    scheme_classes: int
+    unsound_merges: int  # ID classes mixing distinct canonical classes
+    missed_pairs: int  # canonical classes split across scheme IDs
+
+    @property
+    def sound(self) -> bool:
+        return self.unsound_merges == 0
+
+    @property
+    def complete(self) -> bool:
+        return self.missed_pairs == 0
+
+    @property
+    def exact(self) -> bool:
+        return self.sound and self.complete
+
+
+def _ids_for_mode(
+    spec: ConvLayerSpec, mode: IDMode, rows: np.ndarray, cols: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    if mode is IDMode.PAPER:
+        return paper_ids(spec, rows, cols)
+    if mode is IDMode.STRICT:
+        return strict_ids(spec, rows, cols)
+    return canonical_ids(spec, rows, cols)
+
+
+def verify_id_scheme(
+    spec: ConvLayerSpec, mode: IDMode = IDMode.PAPER
+) -> IDSchemeReport:
+    """Exhaustively verify ``mode``'s IDs against the canonical map."""
+    rows, cols = workspace_shape(spec)
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    rr = rr.ravel()
+    cc = cc.ravel()
+
+    cb, ce = canonical_ids(spec, rr, cc)
+    sb, se = _ids_for_mode(spec, mode, rr, cc)
+    canon = cb * (1 << 44) + ce
+    scheme = sb * (1 << 44) + se
+
+    # Soundness: within each scheme class, is the canonical ID unique?
+    order = np.lexsort((canon, scheme))
+    s_sorted = scheme[order]
+    c_sorted = canon[order]
+    new_scheme = np.ones(len(order), dtype=bool)
+    new_scheme[1:] = s_sorted[1:] != s_sorted[:-1]
+    new_canon = np.ones(len(order), dtype=bool)
+    new_canon[1:] = (c_sorted[1:] != c_sorted[:-1]) | new_scheme[1:]
+    # Scheme classes containing >1 distinct canonical ID:
+    canon_per_scheme = np.add.reduceat(
+        new_canon.astype(np.int64), np.nonzero(new_scheme)[0]
+    )
+    unsound = int((canon_per_scheme > 1).sum())
+
+    # Completeness: within each canonical class, is the scheme ID unique?
+    order2 = np.lexsort((scheme, canon))
+    c2 = canon[order2]
+    s2 = scheme[order2]
+    new_c2 = np.ones(len(order2), dtype=bool)
+    new_c2[1:] = c2[1:] != c2[:-1]
+    new_s2 = np.ones(len(order2), dtype=bool)
+    new_s2[1:] = (s2[1:] != s2[:-1]) | new_c2[1:]
+    scheme_per_canon = np.add.reduceat(
+        new_s2.astype(np.int64), np.nonzero(new_c2)[0]
+    )
+    missed = int((scheme_per_canon > 1).sum())
+
+    return IDSchemeReport(
+        spec=spec,
+        mode=mode,
+        entries=len(rr),
+        canonical_classes=int(np.unique(canon).size),
+        scheme_classes=int(np.unique(scheme).size),
+        unsound_merges=unsound,
+        missed_pairs=missed,
+    )
+
+
+def verify_table(
+    specs, mode: IDMode = IDMode.PAPER
+) -> Dict[str, IDSchemeReport]:
+    """Verify a collection of layers; keyed by qualified name."""
+    return {spec.qualified_name: verify_id_scheme(spec, mode) for spec in specs}

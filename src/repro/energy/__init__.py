@@ -1,0 +1,17 @@
+"""Energy and area models (Section V-H of the paper)."""
+
+from repro.energy.model import (
+    EnergyModel,
+    EnergyBreakdown,
+    AreaModel,
+    DEFAULT_ENERGY,
+    DEFAULT_AREA,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AreaModel",
+    "DEFAULT_ENERGY",
+    "DEFAULT_AREA",
+]

@@ -1,0 +1,127 @@
+"""Set-associative LRU caches for the L1/L2 hierarchy.
+
+Functional (hit/miss + traffic) cache models replayed over the kernel
+trace.  Geometry defaults come from Table III: a 128 KB unified L1
+per SM and a 4.5 MB 24-way L2.  Under the representative-SM sampling
+(DESIGN.md) the L2 is modelled as this SM's slice — capacity divided
+by the number of active SMs — which is statistically equivalent for
+the striped, homogeneous CTA streams of GEMM kernels.
+
+The implementation favours replay speed: one ``OrderedDict`` per set
+gives O(1) LRU updates, and the line index is computed by the caller
+so the hot loop stays allocation-free.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level.
+
+    ``mshr_merges`` counts hits that landed while the line's fill was
+    still in flight — requests a real MSHR (Figure 8) would merge onto
+    the outstanding miss rather than serve from the data array.
+    Traffic-wise the two are identical (one fill either way); the
+    split matters for latency attribution and MSHR sizing.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    mshr_merges: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def demand_hits(self) -> int:
+        """Hits served from an actually filled line."""
+        return self.hits - self.mshr_merges
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by line number.
+
+    ``access(line)`` returns True on hit; a miss allocates the line
+    (evicting LRU).  ``line_bytes`` must be a power of two so the set
+    index is a mask.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        assoc: int,
+        line_bytes: int = 128,
+        mshr_window: int = 0,
+    ):
+        if capacity_bytes <= 0 or assoc <= 0:
+            raise ValueError("capacity and associativity must be positive")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+        if mshr_window < 0:
+            raise ValueError(f"mshr_window must be >= 0, got {mshr_window}")
+        lines = max(assoc, capacity_bytes // line_bytes)
+        self.num_sets = max(1, lines // assoc)
+        # Round down to a power of two so indexing is a mask.
+        while self.num_sets & (self.num_sets - 1):
+            self.num_sets &= self.num_sets - 1
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.line_shift = line_bytes.bit_length() - 1
+        self.set_mask = self.num_sets - 1
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        #: Hits within this many accesses of a line's miss count as
+        #: MSHR merges (0 disables the accounting).
+        self.mshr_window = mshr_window
+        self._miss_seq: dict = {}
+        self._seq = 0
+        self.stats = CacheStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.assoc * self.line_bytes
+
+    def line_of(self, address: int) -> int:
+        return address >> self.line_shift
+
+    def access(self, line: int) -> bool:
+        """Probe (and on miss, fill) the cache with one line."""
+        self.stats.accesses += 1
+        self._seq += 1
+        ways = self._sets[line & self.set_mask]
+        if line in ways:
+            ways.move_to_end(line)
+            self.stats.hits += 1
+            if (
+                self.mshr_window
+                and self._seq - self._miss_seq.get(line, -(1 << 60))
+                <= self.mshr_window
+            ):
+                self.stats.mshr_merges += 1
+            return True
+        if len(ways) >= self.assoc:
+            ways.popitem(last=False)
+        ways[line] = True
+        if self.mshr_window:
+            self._miss_seq[line] = self._seq
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Non-updating presence probe (used by tests)."""
+        return line in self._sets[line & self.set_mask]
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+        self._miss_seq.clear()
+        self._seq = 0
+        self.stats = CacheStats()

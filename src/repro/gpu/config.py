@@ -1,0 +1,231 @@
+"""Machine, kernel, and simulation configuration.
+
+:data:`TITAN_V` transcribes Table III of the paper (the GPGPU-sim
+"Titan V-like" baseline).  :class:`KernelConfig` fixes the
+cudaTensorCoreGemm-style tiling the paper uses as its baseline GEMM
+(Section II-C: only the C accumulator tile lives in shared memory, so
+three CTAs fit per SM).  :class:`SimulationOptions` holds the
+reproduction-side knobs DESIGN.md documents (representative-SM
+sampling, CTA caps, ID mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.idgen import IDMode
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Table III baseline GPU plus derived timing constants.
+
+    Timing constants beyond Table III (L2/DRAM bandwidth shares, LDST
+    issue costs) are Titan V-class numbers used by the analytic cycle
+    model; see ``repro.gpu.timing`` for how each enters.
+    """
+
+    num_sms: int = 80
+    clock_mhz: int = 1200
+    max_ctas_per_sm: int = 32
+    max_warps_per_sm: int = 64
+    warp_schedulers_per_sm: int = 4
+    tensor_cores_per_sm: int = 8
+    regfile_bytes_per_sm: int = 256 * 1024
+    shared_mem_bytes_per_sm: int = 96 * 1024
+
+    # Caches (Table III: 128 KB unified L1/SM; 4.5 MB L2, 24-way).
+    l1_bytes: int = 128 * 1024
+    l1_assoc: int = 4
+    l1_line_bytes: int = 128
+    l1_latency: int = 28
+    l2_bytes: int = 4608 * 1024
+    l2_assoc: int = 24
+    l2_line_bytes: int = 128
+    l2_latency: int = 120
+
+    # DRAM (Table III: 652.8 GB/s).
+    dram_bandwidth_gbps: float = 652.8
+    dram_latency: int = 220
+
+    # Tensor cores: 8/SM, each 16 FEDPs doing a 4x4x4 MMA per cycle
+    # -> 64 MACs/cycle/core (Section II-B).
+    macs_per_tensor_core_cycle: int = 64
+
+    # LDST path: a tensor-core load moves a 512-byte tile through a
+    # 128 B/cycle pipe; an LHB-eliminated load spends one issue slot.
+    ldst_units_per_sm: int = 4
+    bytes_per_ldst_cycle: int = 128
+    eliminated_load_cycles: int = 1
+
+    # L2 bandwidth share per SM (Titan V-class ~2.1 TB/s aggregate).
+    l2_bandwidth_bytes_per_cycle: float = 1750.0
+
+    # Duplo detection unit (Section IV-A: two-cycle ID-gen + LHB, in
+    # parallel with L1; three cycles costs ~0.9% — an ablation).
+    detection_latency: int = 2
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Aggregate DRAM bytes per GPU clock."""
+        return self.dram_bandwidth_gbps * 1e9 / self.clock_hz
+
+    @property
+    def dram_bytes_per_sm_cycle(self) -> float:
+        """Per-SM share of DRAM bandwidth (representative-SM model)."""
+        return self.dram_bytes_per_cycle / self.num_sms
+
+    @property
+    def l2_bytes_per_sm_cycle(self) -> float:
+        """Per-SM share of L2 bandwidth."""
+        return self.l2_bandwidth_bytes_per_cycle / self.num_sms
+
+    @property
+    def macs_per_sm_cycle(self) -> int:
+        """Peak tensor-core MACs per SM per cycle (512 for Table III)."""
+        return self.tensor_cores_per_sm * self.macs_per_tensor_core_cycle
+
+    def scaled_l1(self, factor: float) -> "GPUConfig":
+        """Cache-scaling variant (Section V-D's 16x L1 / 4x L2 study)."""
+        return replace(self, l1_bytes=int(self.l1_bytes * factor))
+
+    def scaled_l2(self, factor: float) -> "GPUConfig":
+        return replace(self, l2_bytes=int(self.l2_bytes * factor))
+
+
+#: The paper's baseline machine.
+TITAN_V = GPUConfig()
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """cudaTensorCoreGemm-style tiling (Sections II-B/II-C).
+
+    Defaults give the paper's baseline: a 128x64 CTA output tile whose
+    fp32 C block occupies 32 KB of shared memory, so three CTAs fit in
+    the 96 KB SM shared memory ("placing only C in the shared memory
+    ... achieving 29.7% better performance").  Eight warps per CTA in
+    a 4x2 grid each own a 32x32 output patch (2x2 wmma tiles); per
+    16-deep k-step a warp issues its A/B fragment loads *twice* — once
+    per octet — reproducing the dual-load behaviour of Section II-B.
+    """
+
+    tile: int = 16
+    cta_tile_m: int = 128
+    cta_tile_n: int = 64
+    warp_tile_m: int = 32
+    warp_tile_n: int = 32
+    octet_duplication: int = 2
+    #: Which operands are staged in shared memory: subset of "abc".
+    shared_operands: str = "c"
+    #: cuDNN-style implicit GEMM (Section II-C): the workspace is
+    #: expanded lazily into shared memory from the *unexpanded* input,
+    #: so global traffic shrinks to the unique data while tensor-core
+    #: loads hit shared memory (which Duplo can still filter — the
+    #: Section V-D remark).  Requires A and B staged in shared.
+    implicit: bool = False
+    #: K-depth of the shared-memory staging chunk in implicit mode
+    #: (the paper's 16 KB A stage = 128 rows x 64 halfs).
+    stage_k: int = 64
+    #: K-steps a warp issues per scheduling turn before the GTO
+    #: scheduler switches away (greedy run-ahead: loads of later
+    #: k-steps issue while earlier MMAs drain, until the scoreboard /
+    #: register budget stalls the warp).  This is what brings a warp's
+    #: own cross-k duplicate loads within LHB reach.
+    warp_runahead: int = 32
+
+    def __post_init__(self) -> None:
+        if self.cta_tile_m % self.warp_tile_m or self.cta_tile_n % self.warp_tile_n:
+            raise ValueError("warp tile must divide CTA tile")
+        if self.warp_tile_m % self.tile or self.warp_tile_n % self.tile:
+            raise ValueError("wmma tile must divide warp tile")
+        if set(self.shared_operands) - set("abc"):
+            raise ValueError(f"bad shared_operands {self.shared_operands!r}")
+        if self.implicit and not {"a", "b"} <= set(self.shared_operands):
+            raise ValueError("implicit GEMM stages A and B in shared memory")
+        if self.stage_k % self.tile:
+            raise ValueError("stage_k must be a multiple of the wmma tile")
+
+    @property
+    def warps_per_cta(self) -> int:
+        return (self.cta_tile_m // self.warp_tile_m) * (
+            self.cta_tile_n // self.warp_tile_n
+        )
+
+    @property
+    def warp_tiles_m(self) -> int:
+        return self.warp_tile_m // self.tile
+
+    @property
+    def warp_tiles_n(self) -> int:
+        return self.warp_tile_n // self.tile
+
+    def shared_mem_per_cta(self) -> int:
+        """Shared-memory bytes one CTA occupies (Section II-C cases).
+
+        fp16 A/B stage buffers, fp32 C accumulator tile.  Implicit
+        GEMM stages a ``stage_k``-deep workspace chunk (the paper's
+        16 KB A buffer); explicit staging double-buffers one k-step.
+        """
+        total = 0
+        a_depth = self.stage_k if self.implicit else self.tile * 2
+        if "a" in self.shared_operands:
+            total += self.cta_tile_m * a_depth * 2
+        if "b" in self.shared_operands:
+            total += a_depth * self.cta_tile_n * 2
+        if "c" in self.shared_operands:
+            total += self.cta_tile_m * self.cta_tile_n * 4
+        return total
+
+    def ctas_per_sm(self, gpu: GPUConfig) -> int:
+        """Concurrent CTAs per SM under the shared-memory limit."""
+        by_shared = gpu.shared_mem_bytes_per_sm // max(self.shared_mem_per_cta(), 1)
+        by_warps = gpu.max_warps_per_sm // self.warps_per_cta
+        return max(1, min(by_shared, by_warps, gpu.max_ctas_per_sm))
+
+
+#: Baseline kernel (C-only-in-shared, three CTAs per SM).
+BASELINE_KERNEL = KernelConfig()
+
+#: cuDNN-style implicit GEMM kernel (Section II-C: a 16 KB A stage, a
+#: B stage, and the 32 KB C accumulator leave room for only one CTA
+#: per SM — the TLP shortfall the paper's baseline avoids).
+IMPLICIT_KERNEL = KernelConfig(shared_operands="abc", implicit=True)
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Reproduction-side knobs (DESIGN.md section 5).
+
+    ``max_ctas`` caps how many of the representative SM's CTAs are
+    traced; rates from the traced prefix extrapolate to the full
+    layer.  ``id_mode`` selects the identification formula; ``pid``
+    feeds the LHB tag's process ID field.
+    """
+
+    max_ctas: Optional[int] = None
+    id_mode: IDMode = IDMode.CANONICAL
+    merge_padding: bool = False
+    lhb_lifetime: Optional[int] = 4096
+    lhb_hashed_index: bool = True
+    #: LHB lookup granularity.  "fragment" consults the LHB once per
+    #: 16-half tensor-core load (the paper's load accounting: ~6.8M
+    #: loads for YOLO C2, Section IV-D, matches fragment counting);
+    #: "instruction" consults once per 16x16-tile warp instruction
+    #: (one lookup per Table II row) — the coarser ablation.
+    lhb_granularity: str = "fragment"
+    detection_latency: int = 2
+    pid: int = 0
+    representative_sm: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lhb_granularity not in ("fragment", "instruction"):
+            raise ValueError(
+                f"lhb_granularity must be 'fragment' or 'instruction', "
+                f"got {self.lhb_granularity!r}"
+            )

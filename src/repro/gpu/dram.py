@@ -1,0 +1,54 @@
+"""DRAM bandwidth/latency model (Table III: 652.8 GB/s).
+
+A simple stream model: transfer time is bytes over the bandwidth
+share available to the requester, plus a fixed access latency for the
+first beat.  ``repro.gpu.timing`` uses the per-SM share for its DRAM
+resource component; the energy model uses :meth:`DRAMModel.energy_pj`
+for per-byte access energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig, TITAN_V
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Bandwidth/latency/energy view of the device memory."""
+
+    gpu: GPUConfig = TITAN_V
+    #: Access energy per byte, pJ (HBM2-class ~4 pJ/bit -> ~32 pJ/B;
+    #: the conventional figure used with McPAT-style accounting).
+    energy_pj_per_byte: float = 32.0
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Aggregate bytes deliverable per core clock."""
+        return self.gpu.dram_bytes_per_cycle
+
+    def transfer_cycles(self, num_bytes: int, sharers: int = 1) -> float:
+        """Cycles to stream ``num_bytes`` with ``sharers`` competing SMs."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        if sharers < 1:
+            raise ValueError(f"sharers must be >= 1, got {sharers}")
+        share = self.bytes_per_cycle / sharers
+        return num_bytes / share
+
+    def access_latency(self) -> int:
+        """First-beat latency in cycles (beyond the L2)."""
+        return self.gpu.dram_latency
+
+    def energy_pj(self, num_bytes: int) -> float:
+        """Access energy for ``num_bytes`` of DRAM traffic."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        return num_bytes * self.energy_pj_per_byte
+
+    def bandwidth_utilisation(self, num_bytes: int, cycles: float) -> float:
+        """Achieved fraction of peak bandwidth over ``cycles``."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be > 0, got {cycles}")
+        return (num_bytes / cycles) / self.bytes_per_cycle

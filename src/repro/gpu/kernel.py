@@ -1,0 +1,406 @@
+"""Tensor-core GEMM kernel model: the load/store trace of one SM.
+
+Reimplements the structure of the paper's baseline kernel (NVIDIA SDK
+``cudaTensorCoreGemm``, configured per Section II-C with only the C
+accumulator in shared memory, three CTAs per SM):
+
+* the GEMM grid is tiled into ``cta_tile_m x cta_tile_n`` CTA blocks;
+  CTAs are numbered M-fastest and distributed to SMs round-robin
+  (the representative-SM sampling of DESIGN.md);
+* each CTA runs ``warps_per_cta`` warps in an (m x n) grid, each
+  owning a ``warp_tile_m x warp_tile_n`` output patch;
+* per 16-deep k-step, a warp issues tensor-core loads for its A
+  (workspace) and B (filter) fragments.  One event is one 16-half
+  fragment (32 bytes); the *octet duplication* of Section II-B makes
+  every fragment appear twice back-to-back;
+* warps are interleaved greedily-then-oldest (one k-step burst per
+  warp per round, oldest CTA first), which is how the loads of
+  different warps interleave in front of the LHB;
+* after the k-loop each warp stores its fp32 D tiles.
+
+Matrix A (the lowered workspace) is row-major with leading dimension
+``lda`` (K padded to 16); matrix B is column-major (filters) so a
+tensor-core "column of B" fragment is contiguous; D is row-major fp32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.conv.layer import ConvLayerSpec
+from repro.conv.lowering import entries_to_padded_flat, workspace_shape
+from repro.gpu.config import (
+    BASELINE_KERNEL,
+    GPUConfig,
+    KernelConfig,
+    SimulationOptions,
+    TITAN_V,
+)
+from repro.gpu.isa import (
+    FILTER_BASE,
+    INPUT_BASE,
+    KernelTrace,
+    LOAD_A,
+    LOAD_A_SHARED,
+    LOAD_B,
+    LOAD_B_SHARED,
+    LOAD_INPUT,
+    OUTPUT_BASE,
+    STORE_D,
+    WORKSPACE_BASE,
+)
+from repro.gpu.scheduler import gto_turns, waves
+
+
+def _align(x: int, a: int) -> int:
+    return -(-x // a) * a
+
+
+@dataclass(frozen=True)
+class GemmGeometry:
+    """Padded GEMM dimensions and allocation pitches for one layer."""
+
+    m: int
+    n: int
+    k: int
+    m_pad: int
+    n_pad: int
+    k_pad: int
+    lda: int  # A row pitch (elements)
+    ldb: int  # B column pitch (elements, column-major)
+    ldd: int  # D row pitch (elements)
+
+    @property
+    def k_steps(self) -> int:
+        return self.k_pad // 16
+
+
+def gemm_geometry(spec: ConvLayerSpec, tile: int = 16) -> GemmGeometry:
+    """Compute padded dimensions the kernel allocates for ``spec``."""
+    rows, cols = workspace_shape(spec)
+    g = spec.gemm_shape
+    assert g.m == rows and g.k == cols
+    return GemmGeometry(
+        m=g.m,
+        n=g.n,
+        k=g.k,
+        m_pad=_align(g.m, tile),
+        n_pad=_align(g.n, tile),
+        k_pad=_align(g.k, tile),
+        lda=_align(g.k, tile),
+        ldb=_align(g.k, tile),
+        ldd=_align(g.n, tile),
+    )
+
+
+@dataclass(frozen=True)
+class _WarpPlan:
+    """Precomputed per-(CTA, warp) fragment address templates.
+
+    A-fragment addresses at k-step t are ``a_base + 32 * t`` and
+    B-fragment addresses ``b_base + 32 * t`` (one k-step advances 16
+    fp16 elements = 32 bytes along both pitches).  ``a_group`` /
+    ``b_group`` assign each fragment to its warp-level instruction
+    (one per 16x16 tile per octet copy); emission offsets them by a
+    running global instruction counter.
+    """
+
+    a_base: np.ndarray
+    b_base: np.ndarray
+    a_group: np.ndarray
+    b_group: np.ndarray
+    a_instrs: int
+    b_instrs: int
+    store_addr: np.ndarray
+    mma_per_step: int
+
+
+def _grouped_fragments(units: List[List[int]]) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Expand per-tile fragment lists into octet-duplicated groups.
+
+    Each tile contributes two instructions (the octet dual-load of
+    Section II-B), each covering the tile's 16 fragments.
+    """
+    values: List[int] = []
+    groups: List[int] = []
+    g = 0
+    for unit in units:
+        for _copy in range(2):
+            values.extend(unit)
+            groups.extend([g] * len(unit))
+            g += 1
+    return (
+        np.asarray(values, dtype=np.int64),
+        np.asarray(groups, dtype=np.int64),
+        g,
+    )
+
+
+def _plan_cta(
+    geom: GemmGeometry, kernel: KernelConfig, cta_m: int, cta_n: int
+) -> List[_WarpPlan]:
+    """Build per-warp address templates for the CTA at block (m, n)."""
+    tile = kernel.tile
+    warps_n = kernel.cta_tile_n // kernel.warp_tile_n
+    plans = []
+    for w in range(kernel.warps_per_cta):
+        wm, wn = divmod(w, warps_n)
+        m0 = cta_m * kernel.cta_tile_m + wm * kernel.warp_tile_m
+        n0 = cta_n * kernel.cta_tile_n + wn * kernel.warp_tile_n
+
+        a_tiles = []
+        for i in range(kernel.warp_tiles_m):
+            base_row = m0 + i * tile
+            if base_row >= geom.m:
+                continue  # guarded-off partial tile
+            a_tiles.append(list(range(base_row, base_row + tile)))
+        b_tiles = []
+        for j in range(kernel.warp_tiles_n):
+            base_col = n0 + j * tile
+            if base_col >= geom.n:
+                continue
+            b_tiles.append(list(range(base_col, base_col + tile)))
+
+        a_rows, a_group, a_instrs = _grouped_fragments(a_tiles)
+        b_cols, b_group, b_instrs = _grouped_fragments(b_tiles)
+        a_base = WORKSPACE_BASE + a_rows * (geom.lda * 2)
+        b_base = FILTER_BASE + b_cols * (geom.ldb * 2)
+
+        # D stores: one 64-byte row fragment per valid (row, n-tile).
+        store = []
+        for tile_rows in a_tiles:
+            for b_tile in b_tiles:
+                base_col = b_tile[0]
+                for r in tile_rows:
+                    store.append(OUTPUT_BASE + (r * geom.ldd + base_col) * 4)
+        mma = len(a_tiles) * len(b_tiles)
+        plans.append(
+            _WarpPlan(
+                a_base=a_base,
+                b_base=b_base,
+                a_group=a_group,
+                b_group=b_group,
+                a_instrs=a_instrs,
+                b_instrs=b_instrs,
+                store_addr=np.asarray(store, dtype=np.int64),
+                mma_per_step=mma,
+            )
+        )
+    return plans
+
+
+def sm_cta_blocks(
+    geom: GemmGeometry,
+    kernel: KernelConfig,
+    gpu: GPUConfig,
+    sm_index: int,
+) -> Tuple[List[Tuple[int, int]], int]:
+    """CTA blocks assigned to one SM, plus the total grid size.
+
+    CTAs are numbered with the M block index fastest and handed to
+    SMs round-robin, the dispatch order that puts neighbouring
+    workspace rows on the same SM.
+    """
+    grid_m = -(-geom.m // kernel.cta_tile_m)
+    grid_n = -(-geom.n // kernel.cta_tile_n)
+    total = grid_m * grid_n
+    blocks = [
+        (cta % grid_m, cta // grid_m)
+        for cta in range(sm_index, total, gpu.num_sms)
+    ]
+    return blocks, total
+
+
+class _TraceBuilder:
+    """Accumulates parallel event arrays with running instruction IDs."""
+
+    def __init__(self) -> None:
+        self._kind: List[np.ndarray] = []
+        self._address: List[np.ndarray] = []
+        self._warp: List[np.ndarray] = []
+        self._instr: List[np.ndarray] = []
+        self.next_instr = 0
+
+    def emit(
+        self,
+        kind: int,
+        addresses: np.ndarray,
+        warp: int,
+        groups: Optional[np.ndarray] = None,
+        num_instrs: Optional[int] = None,
+    ) -> None:
+        """Append one burst.
+
+        ``groups`` assigns fragments to instructions relative to the
+        running counter; without it, every fragment is its own
+        instruction (cooperative staging / stores).
+        """
+        n = len(addresses)
+        if n == 0:
+            return
+        if groups is None:
+            groups = np.arange(n, dtype=np.int64)
+            num_instrs = n
+        self._kind.append(np.full(n, kind, dtype=np.uint8))
+        self._address.append(np.asarray(addresses, dtype=np.int64))
+        self._warp.append(np.full(n, warp, dtype=np.int32))
+        self._instr.append(groups + self.next_instr)
+        self.next_instr += num_instrs
+
+    def arrays(self):
+        empty_i64 = np.empty(0, dtype=np.int64)
+        return (
+            np.concatenate(self._kind) if self._kind else np.empty(0, np.uint8),
+            np.concatenate(self._address) if self._address else empty_i64,
+            np.concatenate(self._warp) if self._warp else np.empty(0, np.int32),
+            np.concatenate(self._instr) if self._instr else empty_i64,
+        )
+
+
+def _stage_input_fragments(
+    spec: ConvLayerSpec,
+    geom: GemmGeometry,
+    row_range: Tuple[int, int],
+    col_range: Tuple[int, int],
+) -> np.ndarray:
+    """Global input fetches staging one implicit-GEMM shared chunk.
+
+    The chunk covers workspace rows ``row_range`` x columns
+    ``col_range``; the cooperative copy fetches each *unique* 32-byte
+    block of the unexpanded NHWC input exactly once (padding positions
+    are materialised as zeros without any fetch).
+    """
+    eff = spec.effective_spec()
+    r0, r1 = row_range
+    c0, c1 = col_range
+    rows = np.arange(r0, min(r1, geom.m))
+    cols = np.arange(c0, min(c1, geom.k))
+    if rows.size == 0 or cols.size == 0:
+        return np.empty(0, dtype=np.int64)
+    rr, cc = np.meshgrid(rows, cols, indexing="ij")
+    batch, element = entries_to_padded_flat(spec, rr.ravel(), cc.ravel())
+
+    padded_w = eff.in_width + 2 * eff.pad
+    py, rem = np.divmod(element, padded_w * eff.in_channels)
+    px, ch = np.divmod(rem, eff.in_channels)
+    iy = py - eff.pad
+    ix = px - eff.pad
+    interior = (
+        (iy >= 0) & (iy < eff.in_height) & (ix >= 0) & (ix < eff.in_width)
+    )
+    flat = (
+        ((batch * eff.in_height + iy) * eff.in_width + ix) * eff.in_channels
+        + ch
+    )
+    blocks = np.unique(flat[interior] * 2 // 32)
+    return INPUT_BASE + blocks * 32
+
+
+def generate_sm_trace(
+    spec: ConvLayerSpec,
+    gpu: GPUConfig = TITAN_V,
+    kernel: KernelConfig = BASELINE_KERNEL,
+    options: SimulationOptions = SimulationOptions(),
+) -> KernelTrace:
+    """Generate the scheduled memory-event trace of one SM.
+
+    Waves of up to ``kernel.ctas_per_sm(gpu)`` CTAs run concurrently;
+    within a wave, each warp issues one k-step burst per scheduling
+    round (GTO: a warp runs until its MMA dependency stalls it, then
+    the next-oldest warp issues).
+
+    In implicit mode (``kernel.implicit``) each CTA cooperatively
+    stages a ``stage_k``-deep chunk of the workspace into shared
+    memory — fetching only the unique unexpanded input from global —
+    and the warps' tensor-core loads read shared memory instead.
+    """
+    geom = gemm_geometry(spec, kernel.tile)
+    blocks, total_ctas = sm_cta_blocks(geom, kernel, gpu, options.representative_sm)
+    assigned = len(blocks)
+    if options.max_ctas is not None:
+        blocks = blocks[: options.max_ctas]
+
+    concurrency = kernel.ctas_per_sm(gpu)
+    k_steps = geom.k_steps
+    plans_per_block = [_plan_cta(geom, kernel, m, n) for m, n in blocks]
+    mma_ops = sum(
+        p.mma_per_step * k_steps for plans in plans_per_block for p in plans
+    )
+
+    kind_a = LOAD_A_SHARED if kernel.implicit else LOAD_A
+    kind_b = LOAD_B_SHARED if kernel.implicit else LOAD_B
+    stage_steps = max(1, kernel.stage_k // kernel.tile)
+
+    builder = _TraceBuilder()
+    runahead = max(1, kernel.warp_runahead)
+    wave_starts = range(0, len(blocks), concurrency)
+    for wave_start, wave in zip(wave_starts, waves(plans_per_block, concurrency)):
+        staged_through = [0] * len(wave)  # per-CTA staged k-step horizon
+        # GTO: each scheduling turn a warp greedily issues `runahead`
+        # k-steps of loads before the scheduler moves on.
+        for turn in gto_turns(len(wave), kernel.warps_per_cta, k_steps, runahead):
+            cta_index = wave_start + turn.cta_index
+            plan = wave[turn.cta_index][turn.warp]
+            wid = cta_index * kernel.warps_per_cta + turn.warp
+            if kernel.implicit and turn.warp == 0:
+                # The CTA's cooperative stage runs ahead of its warps.
+                while staged_through[turn.cta_index] < turn.k_end:
+                    s0 = staged_through[turn.cta_index]
+                    s1 = min(s0 + stage_steps, k_steps)
+                    m_blk, n_blk = blocks[cta_index]
+                    builder.emit(
+                        LOAD_INPUT,
+                        _stage_input_fragments(
+                            spec,
+                            geom,
+                            (m_blk * kernel.cta_tile_m,
+                             (m_blk + 1) * kernel.cta_tile_m),
+                            (s0 * kernel.tile, s1 * kernel.tile),
+                        ),
+                        wid,
+                    )
+                    # B chunk staged cooperatively: one global fetch
+                    # per filter column fragment, no octet dup.
+                    n_cols = np.arange(
+                        n_blk * kernel.cta_tile_n,
+                        min((n_blk + 1) * kernel.cta_tile_n, geom.n),
+                    )
+                    k_offsets = np.arange(s0, s1) * (kernel.tile * 2)
+                    b_stage = (
+                        FILTER_BASE
+                        + (n_cols[:, None] * (geom.ldb * 2)
+                           + k_offsets[None, :]).ravel()
+                    )
+                    builder.emit(LOAD_B, b_stage, wid)
+                    staged_through[turn.cta_index] = s1
+            for t in range(turn.k_start, turn.k_end):
+                step = 32 * t
+                builder.emit(
+                    kind_a, plan.a_base + step, wid, plan.a_group, plan.a_instrs
+                )
+                builder.emit(
+                    kind_b, plan.b_base + step, wid, plan.b_group, plan.b_instrs
+                )
+        for cta_slot, plans in enumerate(wave):
+            for w, plan in enumerate(plans):
+                wid = (wave_start + cta_slot) * kernel.warps_per_cta + w
+                builder.emit(STORE_D, plan.store_addr, wid)
+
+    kind, address, warp, instr = builder.arrays()
+    return KernelTrace(
+        kind=kind,
+        address=address,
+        warp=warp,
+        instr=instr,
+        mma_ops=mma_ops,
+        traced_ctas=len(blocks),
+        total_ctas=assigned,
+        grid_ctas=total_ctas,
+        lda=geom.lda,
+        ldb=geom.ldb,
+        ldd=geom.ldd,
+        concurrent_warps=min(concurrency, max(assigned, 1)) * kernel.warps_per_cta,
+    )

@@ -1,0 +1,207 @@
+"""Cycle-stepped SM pipeline demonstrator (Figure 7).
+
+The bulk simulator (``repro.gpu.simulator``) is trace-driven; this
+module complements it with an *instruction-level* pipeline that makes
+Figure 7 concrete for small programs: fetch/decode feed an instruction
+buffer, a greedy-then-oldest scheduler issues from it under a
+scoreboard, tensor-core loads flow through the LDST unit where the
+Duplo detection unit (ID generation + LHB + renaming) can eliminate
+them, and execution latencies drain through writeback.
+
+It is the machinery behind the Table II walk-through at cycle
+granularity: the same four-instruction program visibly completes
+earlier with the detection unit powered on, because the eliminated
+load's dependents wake after the two-cycle detection latency instead
+of a cache round-trip.
+
+Deliberately small: warps of straight-line programs, warp-level
+semantics (one "register" is a warp register), no branch handling —
+enough to study issue/stall behaviour, not to replace the trace model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.detection import DetectionUnit
+
+
+class Op(enum.Enum):
+    """Warp-level instruction classes the pipeline models."""
+
+    LOAD = "wmma.load"  # tensor-core load (LHB-eligible if workspace)
+    MMA = "wmma.mma"
+    STORE = "wmma.store"
+    ALU = "alu"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One warp-level instruction: destination, sources, address."""
+
+    op: Op
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    address: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op is Op.LOAD and self.address is None:
+            raise ValueError("loads need an address")
+        if self.op in (Op.LOAD, Op.MMA, Op.ALU) and self.dest is None:
+            raise ValueError(f"{self.op.value} needs a destination")
+
+
+@dataclass
+class Warp:
+    """A warp executing a straight-line program."""
+
+    warp_id: int
+    program: List[Instruction]
+    pc: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.program)
+
+    def peek(self) -> Instruction:
+        return self.program[self.pc]
+
+
+@dataclass
+class PipelineStats:
+    """Issue/stall accounting over a run."""
+
+    cycles: int = 0
+    issued: int = 0
+    eliminated_loads: int = 0
+    memory_loads: int = 0
+    scoreboard_stalls: int = 0
+    idle_cycles: int = 0
+
+
+@dataclass
+class _Inflight:
+    warp_id: int
+    dest: Optional[int]
+    ready_at: int
+
+
+class SMPipeline:
+    """Issue-limited in-order pipeline with a scoreboard per warp.
+
+    One instruction issues per cycle (the paper's warp scheduler
+    granularity).  GTO: the most recently issued warp retains priority
+    while it can issue; otherwise the oldest ready warp goes.  A
+    warp's instruction may issue when none of its sources or its
+    destination are pending in the scoreboard.
+    """
+
+    #: Default latencies (cycles), Table III-flavoured.
+    LATENCIES = {
+        Op.LOAD: 28,  # L1 hit
+        Op.MMA: 8,
+        Op.STORE: 1,
+        Op.ALU: 4,
+    }
+
+    def __init__(
+        self,
+        warps: List[Warp],
+        detection: Optional[DetectionUnit] = None,
+        latencies: Optional[Dict[Op, int]] = None,
+        eliminated_latency: int = 2,
+    ):
+        if not warps:
+            raise ValueError("need at least one warp")
+        self.warps = warps
+        self.detection = detection
+        self.latencies = dict(self.LATENCIES)
+        if latencies:
+            self.latencies.update(latencies)
+        self.eliminated_latency = eliminated_latency
+        self.stats = PipelineStats()
+        self._pending: Dict[Tuple[int, int], int] = {}  # (warp, reg) -> ready
+        self._inflight: List[_Inflight] = []
+        self._last_issued: Optional[int] = None
+        self._cycle = 0
+
+    # ------------------------------------------------------------------
+    def _reg_ready(self, warp_id: int, reg: int) -> bool:
+        return self._pending.get((warp_id, reg), 0) <= self._cycle
+
+    def _can_issue(self, warp: Warp) -> bool:
+        if warp.done:
+            return False
+        inst = warp.peek()
+        regs = list(inst.srcs)
+        if inst.dest is not None:
+            regs.append(inst.dest)
+        return all(self._reg_ready(warp.warp_id, r) for r in regs)
+
+    def _pick_warp(self) -> Optional[Warp]:
+        # Greedy: stick with the last issued warp while it can go.
+        if self._last_issued is not None:
+            warp = self.warps[self._last_issued]
+            if self._can_issue(warp):
+                return warp
+        # Then oldest (lowest id) ready warp.
+        for warp in self.warps:
+            if self._can_issue(warp):
+                return warp
+        return None
+
+    def _issue(self, warp: Warp) -> None:
+        inst = warp.peek()
+        warp.pc += 1
+        self._last_issued = self.warps.index(warp)
+        self.stats.issued += 1
+
+        latency = self.latencies[inst.op]
+        if inst.op is Op.LOAD:
+            eliminated = False
+            if self.detection is not None:
+                outcome = self.detection.process_load(
+                    warp.warp_id, inst.dest, inst.address
+                )
+                eliminated = outcome.eliminated
+            if eliminated:
+                latency = self.eliminated_latency
+                self.stats.eliminated_loads += 1
+            else:
+                self.stats.memory_loads += 1
+        if inst.dest is not None:
+            ready = self._cycle + latency
+            self._pending[(warp.warp_id, inst.dest)] = ready
+            self._inflight.append(
+                _Inflight(warp.warp_id, inst.dest, ready)
+            )
+
+    def tick(self) -> None:
+        """Advance one cycle: retire completed ops, issue at most one."""
+        self._cycle += 1
+        self.stats.cycles = self._cycle
+        self._inflight = [f for f in self._inflight if f.ready_at > self._cycle]
+
+        warp = self._pick_warp()
+        if warp is not None:
+            self._issue(warp)
+            return
+        if all(w.done for w in self.warps):
+            self.stats.idle_cycles += 1
+        elif any(not w.done for w in self.warps):
+            self.stats.scoreboard_stalls += 1
+
+    @property
+    def drained(self) -> bool:
+        """All programs issued and all results written back."""
+        return all(w.done for w in self.warps) and not self._inflight
+
+    def run(self, max_cycles: int = 100_000) -> PipelineStats:
+        """Tick until drained (or the safety limit trips)."""
+        while not self.drained:
+            if self._cycle >= max_cycles:
+                raise RuntimeError(f"pipeline not drained in {max_cycles} cycles")
+            self.tick()
+        return self.stats

@@ -1,0 +1,182 @@
+"""Per-layer simulation entry points.
+
+:func:`simulate_layer` runs one Table I layer under one configuration
+(baseline / Duplo with a given LHB / WIR) and returns a
+:class:`LayerResult` holding both the SM-level timing and the
+full-layer extrapolated statistics.  :func:`simulate_pair` runs the
+baseline and a Duplo variant over the *same* trace, which is how all
+the paper's "performance improvement over baseline" figures are
+produced.
+
+Traces are cached per (layer, kernel, options) so parameter sweeps
+(Figures 9, 10, 12, 13) pay trace generation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.conv.layer import ConvLayerSpec
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.config import (
+    BASELINE_KERNEL,
+    GPUConfig,
+    KernelConfig,
+    SimulationOptions,
+    TITAN_V,
+)
+from repro.gpu.isa import KernelTrace
+from repro.gpu.kernel import generate_sm_trace
+from repro.gpu.ldst import EliminationMode, replay_trace
+from repro.gpu.stats import LayerStats
+from repro.gpu.timing import TimingModel
+
+_trace_cache: Dict[Tuple, KernelTrace] = {}
+_TRACE_CACHE_LIMIT = 64
+
+
+def _get_trace(
+    spec: ConvLayerSpec,
+    gpu: GPUConfig,
+    kernel: KernelConfig,
+    options: SimulationOptions,
+) -> KernelTrace:
+    key = (spec, gpu, kernel, options.max_ctas, options.representative_sm)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        trace = generate_sm_trace(spec, gpu, kernel, options)
+        if len(_trace_cache) >= _TRACE_CACHE_LIMIT:
+            _trace_cache.pop(next(iter(_trace_cache)))
+        _trace_cache[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop cached traces (tests that tweak globals call this)."""
+    _trace_cache.clear()
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Outcome of simulating one layer under one configuration."""
+
+    spec: ConvLayerSpec
+    mode: EliminationMode
+    stats: LayerStats  # full-layer extrapolation (GPU-wide counts)
+    sm_stats: LayerStats  # one SM's full assignment (timing basis)
+    cycles: float
+    time_ms: float
+    lhb_entries: Optional[int] = None
+    lhb_assoc: int = 1
+
+    @property
+    def lhb_hit_rate(self) -> float:
+        return self.stats.lhb_hit_rate
+
+    def speedup_over(self, baseline: "LayerResult") -> float:
+        """Execution-time ratio baseline/this (1.25 = 25% faster)."""
+        return baseline.cycles / self.cycles
+
+
+def make_lhb(
+    entries: Optional[int],
+    assoc: int = 1,
+    lifetime: Optional[int] = 4096,
+    hashed_index: bool = True,
+) -> LoadHistoryBuffer:
+    """LHB factory: ``entries=None`` builds the paper's oracle buffer."""
+    return LoadHistoryBuffer(
+        num_entries=entries,
+        assoc=assoc,
+        lifetime=lifetime,
+        hashed_index=hashed_index,
+    )
+
+
+def simulate_layer(
+    spec: ConvLayerSpec,
+    mode: EliminationMode = EliminationMode.DUPLO,
+    lhb_entries: Optional[int] = 1024,
+    lhb_assoc: int = 1,
+    gpu: GPUConfig = TITAN_V,
+    kernel: KernelConfig = BASELINE_KERNEL,
+    options: SimulationOptions = SimulationOptions(),
+    timing: Optional[TimingModel] = None,
+) -> LayerResult:
+    """Simulate one layer under one configuration.
+
+    ``lhb_entries=None`` gives the oracle (unbounded) LHB; the
+    ``options.lhb_lifetime`` window still applies, modelling register
+    retirement (Section V-C).  ``mode=BASELINE`` ignores the LHB
+    arguments.
+    """
+    trace = _get_trace(spec, gpu, kernel, options)
+    lhb = None
+    if mode is not EliminationMode.BASELINE:
+        lhb = make_lhb(
+            lhb_entries, lhb_assoc, options.lhb_lifetime, options.lhb_hashed_index
+        )
+    sm_traced = replay_trace(trace, spec, gpu, options, mode, lhb)
+
+    # Extrapolate the traced prefix to the SM's full CTA assignment,
+    # then to the whole grid.
+    sm_stats = sm_traced.scaled(trace.scale_factor)
+    if timing is None:
+        timing = TimingModel(gpu=gpu, detection_latency=options.detection_latency)
+    busy_sms = max(1, min(gpu.num_sms, trace.grid_ctas))
+    cycles, comps = timing.cycles(sm_stats, trace.concurrent_warps, busy_sms)
+    sm_stats.cycles = cycles
+    sm_stats.cycle_components = comps
+
+    grid_scale = trace.grid_ctas / max(trace.traced_ctas, 1)
+    full_stats = sm_traced.scaled(grid_scale)
+    full_stats.cycles = cycles
+    full_stats.cycle_components = comps
+
+    return LayerResult(
+        spec=spec,
+        mode=mode,
+        stats=full_stats,
+        sm_stats=sm_stats,
+        cycles=cycles,
+        time_ms=timing.execution_time_ms(cycles),
+        lhb_entries=lhb_entries if lhb is not None else None,
+        lhb_assoc=lhb_assoc,
+    )
+
+
+def simulate_pair(
+    spec: ConvLayerSpec,
+    lhb_entries: Optional[int] = 1024,
+    lhb_assoc: int = 1,
+    gpu: GPUConfig = TITAN_V,
+    kernel: KernelConfig = BASELINE_KERNEL,
+    options: SimulationOptions = SimulationOptions(),
+) -> Tuple[LayerResult, LayerResult]:
+    """(baseline, duplo) results over the same trace — the figures'
+    "performance improvement" comparisons."""
+    base = simulate_layer(
+        spec, EliminationMode.BASELINE, gpu=gpu, kernel=kernel, options=options
+    )
+    duplo = simulate_layer(
+        spec,
+        EliminationMode.DUPLO,
+        lhb_entries=lhb_entries,
+        lhb_assoc=lhb_assoc,
+        gpu=gpu,
+        kernel=kernel,
+        options=options,
+    )
+    return base, duplo
+
+
+def performance_improvement(
+    spec: ConvLayerSpec,
+    lhb_entries: Optional[int] = 1024,
+    lhb_assoc: int = 1,
+    **kwargs,
+) -> float:
+    """Fractional speedup of Duplo over baseline (0.25 = +25%)."""
+    base, duplo = simulate_pair(spec, lhb_entries, lhb_assoc, **kwargs)
+    return duplo.speedup_over(base) - 1.0

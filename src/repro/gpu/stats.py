@@ -1,0 +1,163 @@
+"""Statistics containers shared by the simulator and analysis layers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+@dataclass
+class MemoryBreakdown:
+    """Which component served each data request (Figure 11).
+
+    Counts are warp-level fragment loads serviced by each level; the
+    LHB row is Duplo's elimination (zero in the baseline).
+    """
+
+    lhb: int = 0
+    l1: int = 0
+    l2: int = 0
+    dram: int = 0
+    shared: int = 0  # implicit-GEMM shared-memory service
+
+    @property
+    def total(self) -> int:
+        return self.lhb + self.l1 + self.l2 + self.dram + self.shared
+
+    def fractions(self) -> Dict[str, float]:
+        """Normalised service shares, as the Figure 11 stacked bars."""
+        total = self.total
+        keys = ("lhb", "l1", "l2", "dram", "shared")
+        if total == 0:
+            return {k: 0.0 for k in keys}
+        return {k: getattr(self, k) / total for k in keys}
+
+    def scaled(self, factor: float) -> "MemoryBreakdown":
+        return MemoryBreakdown(
+            lhb=round(self.lhb * factor),
+            l1=round(self.l1 * factor),
+            l2=round(self.l2 * factor),
+            dram=round(self.dram * factor),
+            shared=round(self.shared * factor),
+        )
+
+
+@dataclass
+class LayerStats:
+    """Everything measured while replaying one layer under one config.
+
+    All counts are full-layer (extrapolated from the traced portion
+    when a CTA cap was in effect) and cover the representative SM;
+    GPU-level byte totals multiply by the SM count where noted.
+    """
+
+    # Load accounting.  Fragment counts (32-byte units of traffic) and
+    # instruction counts (warp-level wmma loads, the LHB's granularity)
+    # are tracked separately.
+    loads_total: int = 0  # fragments
+    loads_workspace: int = 0  # fragments
+    loads_filter: int = 0  # fragments
+    loads_input: int = 0  # implicit-GEMM global staging fetches
+    stores: int = 0
+    workspace_instructions: int = 0
+    lhb_lookups: int = 0  # instructions
+    lhb_hits: int = 0  # instructions
+    eliminated_fragments: int = 0
+    unique_workspace_ids: int = 0  # distinct instruction tags
+
+    # Memory hierarchy (accesses are fragment-granular).
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+
+    # Compute.
+    mma_ops: int = 0
+
+    # Timing (filled by repro.gpu.timing).
+    cycles: float = 0.0
+    cycle_components: Dict[str, float] = field(default_factory=dict)
+
+    breakdown: MemoryBreakdown = field(default_factory=MemoryBreakdown)
+
+    @property
+    def eliminated_loads(self) -> int:
+        """Load instructions Duplo removed (== LHB hits)."""
+        return self.lhb_hits
+
+    @property
+    def lhb_hit_rate(self) -> float:
+        """Figure 10's metric: hits per workspace load instruction."""
+        if not self.lhb_lookups:
+            return 0.0
+        return self.lhb_hits / self.lhb_lookups
+
+    @property
+    def elimination_rate(self) -> float:
+        """Fraction of tensor-core load traffic eliminated (Section V-B)."""
+        if not self.loads_total:
+            return 0.0
+        return self.eliminated_fragments / self.loads_total
+
+    @property
+    def theoretical_hit_limit(self) -> float:
+        """Upper bound on the LHB hit rate from duplication alone.
+
+        ``1 - unique/total`` over workspace load instructions — the
+        paper's "theoretical upper limit" (88.9% for their layer mix,
+        computed at their granularity; see EXPERIMENTS.md).
+        """
+        if not self.workspace_instructions:
+            return 0.0
+        return 1.0 - self.unique_workspace_ids / self.workspace_instructions
+
+    @property
+    def shared_accesses(self) -> int:
+        """Fragments served by shared memory (implicit GEMM)."""
+        return self.breakdown.shared
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
+
+    def scaled(self, factor: float) -> "LayerStats":
+        """Extrapolate traced counts to the full layer."""
+        return LayerStats(
+            loads_total=round(self.loads_total * factor),
+            loads_workspace=round(self.loads_workspace * factor),
+            loads_filter=round(self.loads_filter * factor),
+            loads_input=round(self.loads_input * factor),
+            stores=round(self.stores * factor),
+            workspace_instructions=round(self.workspace_instructions * factor),
+            lhb_lookups=round(self.lhb_lookups * factor),
+            lhb_hits=round(self.lhb_hits * factor),
+            eliminated_fragments=round(self.eliminated_fragments * factor),
+            unique_workspace_ids=round(self.unique_workspace_ids * factor),
+            l1_accesses=round(self.l1_accesses * factor),
+            l1_hits=round(self.l1_hits * factor),
+            l2_accesses=round(self.l2_accesses * factor),
+            l2_hits=round(self.l2_hits * factor),
+            dram_read_bytes=round(self.dram_read_bytes * factor),
+            dram_write_bytes=round(self.dram_write_bytes * factor),
+            mma_ops=round(self.mma_ops * factor),
+            cycles=self.cycles * factor,
+            cycle_components=dict(self.cycle_components),
+            breakdown=self.breakdown.scaled(factor),
+        )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the aggregation the paper's "Gmean" bars use."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError(f"geometric mean needs positive values, got {vals}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,74 @@
+"""Tensor-core throughput model (Section II-B).
+
+A tensor core is 16 four-element dot product (FEDP) units computing a
+4x4x4 MMA per cycle (64 MACs).  Four consecutive threads form a
+threadgroup producing a 4x8 block in two steps; two threadgroups form
+an octet computing an 8x8 tile; four octets cover a warp's 16x16 MMA.
+This module derives the cycle costs the timing model and tests use
+from that structure, rather than hard-coding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GPUConfig, TITAN_V
+
+#: Structure constants from Section II-B.
+FEDPS_PER_CORE = 16
+MACS_PER_FEDP = 4
+THREADS_PER_THREADGROUP = 4
+THREADGROUPS_PER_OCTET = 2
+OCTETS_PER_WARP = 4
+WMMA_TILE = 16
+
+
+@dataclass(frozen=True)
+class TensorCoreModel:
+    """Cycle/throughput arithmetic for the SM's tensor cores."""
+
+    gpu: GPUConfig = TITAN_V
+
+    @property
+    def macs_per_core_cycle(self) -> int:
+        """64 for the Volta-style 16-FEDP core."""
+        return FEDPS_PER_CORE * MACS_PER_FEDP
+
+    @property
+    def macs_per_sm_cycle(self) -> int:
+        return self.gpu.tensor_cores_per_sm * self.macs_per_core_cycle
+
+    @property
+    def wmma_macs(self) -> int:
+        """MACs in one 16x16x16 warp MMA."""
+        return WMMA_TILE**3
+
+    def wmma_cycles_per_sm(self) -> float:
+        """SM-cycles one warp MMA occupies with all cores busy."""
+        return self.wmma_macs / self.macs_per_sm_cycle
+
+    def octet_steps(self) -> int:
+        """Steps an octet needs for its 8x8 tile (two per threadgroup)."""
+        return THREADGROUPS_PER_OCTET
+
+    def peak_tflops(self, fused: bool = True) -> float:
+        """Peak half-precision tensor throughput (2 FLOPs per MAC)."""
+        flops_per_mac = 2 if fused else 1
+        return (
+            self.macs_per_sm_cycle
+            * self.gpu.num_sms
+            * self.gpu.clock_hz
+            * flops_per_mac
+            / 1e12
+        )
+
+    def speedup_over_cuda_cores(self, fp32_units_per_block: int = 16) -> float:
+        """Operational-intensity ratio of Section II-B's comparison.
+
+        The paper: a Volta processing block has 16 fp32 units while
+        its two tensor cores do 256 half-precision MACs per cycle —
+        16x greater operational intensity (8x at equal precision).
+        """
+        blocks_per_sm = self.gpu.warp_schedulers_per_sm
+        tc_macs_per_block = self.macs_per_sm_cycle / blocks_per_sm
+        return tc_macs_per_block / fp32_units_per_block

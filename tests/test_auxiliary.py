@@ -1,0 +1,88 @@
+"""Auxiliary layers (pooling/softmax) and Figure 14's epsilon claim."""
+
+import numpy as np
+import pytest
+
+from repro.conv.auxiliary import (
+    AuxiliaryCostModel,
+    average_pool,
+    max_pool,
+    softmax,
+)
+from repro.conv.workloads import get_layer
+from repro.gpu.simulator import EliminationMode, simulate_layer
+from repro.gpu.config import SimulationOptions
+
+
+class TestMaxPool:
+    def test_reduces_spatial_dims(self, rng):
+        x = rng.standard_normal((2, 8, 8, 3))
+        assert max_pool(x).shape == (2, 4, 4, 3)
+
+    def test_picks_window_maximum(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = max_pool(x)
+        np.testing.assert_array_equal(
+            out[0, :, :, 0], np.array([[5, 7], [13, 15]])
+        )
+
+    def test_stride_one(self, rng):
+        x = rng.standard_normal((1, 5, 5, 2))
+        assert max_pool(x, size=2, stride=1).shape == (1, 4, 4, 2)
+
+    def test_rejects_non_nhwc(self):
+        with pytest.raises(ValueError, match="NHWC"):
+            max_pool(np.zeros((4, 4)))
+
+
+class TestAveragePool:
+    def test_window_mean(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = average_pool(x)
+        np.testing.assert_allclose(
+            out[0, :, :, 0], np.array([[2.5, 4.5], [10.5, 12.5]])
+        )
+
+    def test_constant_input_unchanged(self):
+        x = np.full((1, 6, 6, 2), 3.0)
+        np.testing.assert_allclose(average_pool(x), np.full((1, 3, 3, 2), 3.0))
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        p = softmax(rng.standard_normal((4, 10)))
+        np.testing.assert_allclose(p.sum(axis=-1), np.ones(4))
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.standard_normal((2, 5))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+    def test_handles_large_values(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(p, [[0.5, 0.5]])
+
+
+class TestFigure14Epsilon:
+    def test_pooling_is_invisible_next_to_convolution(self):
+        """The paper's Figure 14 rationale: pooling/softmax account
+        for an infinitesimally small fraction of execution time."""
+        model = AuxiliaryCostModel()
+        spec = get_layer("resnet", "C2")
+        conv = simulate_layer(
+            spec,
+            EliminationMode.BASELINE,
+            options=SimulationOptions(max_ctas=3),
+        )
+        fraction = model.fraction_of(spec, conv.cycles)
+        # Real networks run many convolutions per pooling layer, so a
+        # single-digit fraction of *one* conv is invisible at network
+        # scale (the paper's "infinitesimally small").
+        assert fraction < 0.10
+
+    def test_softmax_negligible(self):
+        model = AuxiliaryCostModel()
+        assert model.softmax_cycles(classes=1000, batch=8) < 1000
+
+    def test_fraction_validates(self):
+        with pytest.raises(ValueError):
+            AuxiliaryCostModel().fraction_of(get_layer("resnet", "C2"), 0)

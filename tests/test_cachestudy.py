@@ -1,0 +1,38 @@
+"""Cache-scaling study (Section V-D)."""
+
+import pytest
+
+from repro.analysis.cachestudy import cache_scaling_study
+from repro.gpu.config import KernelConfig, SimulationOptions
+
+from tests.conftest import make_spec
+
+LAYERS = (make_spec(name="s", batch=2, h=12, w=12, c=16, filters=16),)
+OPTIONS = SimulationOptions()
+KERNEL = KernelConfig(warp_runahead=8)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return cache_scaling_study(LAYERS, options=OPTIONS, kernel=KERNEL)
+
+
+class TestCacheScaling:
+    def test_row_per_layer(self, result):
+        assert len(result.rows) == len(LAYERS)
+        assert {"layer", "bigger_caches", "duplo"} <= set(result.rows[0])
+
+    def test_bigger_caches_never_hurt(self, result):
+        assert result.bigger_caches_gain >= -1e-9
+
+    def test_duplo_beats_cache_scaling(self, result):
+        """Section V-D's conclusion: deduplication, not capacity."""
+        assert result.caches_are_not_the_answer
+        assert result.duplo_gain > result.bigger_caches_gain
+
+    def test_custom_factors(self):
+        r = cache_scaling_study(
+            LAYERS, l1_factor=2.0, l2_factor=2.0, options=OPTIONS,
+            kernel=KERNEL,
+        )
+        assert r.bigger_caches_gain <= 0.10

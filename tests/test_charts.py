@@ -1,0 +1,72 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_chart, summary_chart
+from repro.analysis.experiments import Experiment
+
+
+def toy_experiment():
+    return Experiment(
+        name="toy",
+        description="demo",
+        rows=[
+            {"layer": "a", "lhb": "256", "improvement": 0.10},
+            {"layer": "a", "lhb": "1024", "improvement": 0.20},
+            {"layer": "b", "lhb": "256", "improvement": 0.05},
+            {"layer": "b", "lhb": "1024", "improvement": -0.02},
+        ],
+        summary={"gmean": 0.08},
+        paper={"gmean": 0.10},
+    )
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = bar_chart({"x": 1.0, "y": 0.5}, width=10, percent=False)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_negative_values_use_dashes(self):
+        text = bar_chart({"up": 0.5, "down": -0.5}, width=4)
+        assert "-" * 4 in text
+
+    def test_percent_formatting(self):
+        assert "+12.0%" in bar_chart({"a": 0.12})
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_title(self):
+        assert bar_chart({"a": 1}, title="T").startswith("T\n")
+
+    def test_zero_values_safe(self):
+        assert "|" in bar_chart({"a": 0.0})
+
+
+class TestGroupedChart:
+    def test_groups_and_series(self):
+        text = grouped_chart(
+            toy_experiment(), "layer", "lhb", "improvement", width=8
+        )
+        assert "a" in text and "b" in text
+        assert text.count("256") == 2
+
+    def test_max_groups(self):
+        text = grouped_chart(
+            toy_experiment(), "layer", "lhb", "improvement", max_groups=1
+        )
+        assert "\nb\n" not in text
+
+    def test_empty_rows(self):
+        exp = Experiment(name="x", description="", rows=[])
+        assert grouped_chart(exp, "layer", "lhb", "v") == "(no data)"
+
+
+class TestSummaryChart:
+    def test_includes_paper_reference(self):
+        text = summary_chart(toy_experiment())
+        assert "gmean" in text
+        assert "paper:" in text
+        assert "+10.0%" in text

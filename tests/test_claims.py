@@ -1,0 +1,83 @@
+"""Claims catalog consistency with the experiment harness."""
+
+import pytest
+
+from repro.analysis import experiments as exp_mod
+from repro.analysis.claims import CLAIMS, claims_by_key, measured_claims
+from repro.conv.workloads import get_layer
+from repro.gpu.config import SimulationOptions
+
+
+class TestCatalogShape:
+    def test_keys_unique(self):
+        keys = [c.key for c in CLAIMS]
+        assert len(set(keys)) == len(keys)
+
+    def test_every_claim_cites_a_section(self):
+        assert all(c.section for c in CLAIMS)
+
+    def test_measured_claims_reference_real_experiments(self):
+        for claim in measured_claims():
+            name, _metric = claim.measured_by
+            assert hasattr(exp_mod, name), claim.key
+
+    def test_reasonable_coverage(self):
+        """Most quantitative claims are directly measured."""
+        assert len(measured_claims()) >= 14
+        assert len(CLAIMS) >= 20
+
+
+class TestPaperReferenceConsistency:
+    """The experiment harness's ``paper`` dicts and the claims catalog
+    must quote the same numbers (single source of truth check)."""
+
+    @pytest.mark.parametrize(
+        "name,builder",
+        [
+            ("figure2", lambda: exp_mod.figure2([get_layer("yolo", "C2")])),
+            ("figure3", lambda: exp_mod.figure3([get_layer("yolo", "C2")])),
+        ],
+    )
+    def test_static_experiments_match(self, name, builder):
+        exp = builder()
+        catalog = claims_by_key()
+        for claim in measured_claims():
+            exp_name, metric = claim.measured_by
+            if exp_name != name:
+                continue
+            assert exp.paper[metric] == pytest.approx(claim.value)
+
+    def test_metric_names_exist_in_experiment_paper_dicts(self):
+        """Cheap structural check against the harness's declared paper
+        references (no simulation needed: the dicts are static)."""
+        static = {
+            "figure9": {"gmean_oracle", "gmean_1024-entry"},
+            "figure10": {"hit_oracle", "theoretical_limit"},
+            "figure11": {
+                "mean_dram_traffic_reduction",
+                "mean_l1_service_reduction",
+                "mean_l2_service_reduction",
+            },
+            "figure12": {"eight_way_advantage"},
+            "figure13": {"batch32_degradation"},
+            "figure14": {
+                "gmean_inference_reduction",
+                "gmean_training_reduction",
+            },
+            "energy_area": {"on_chip_energy_reduction", "area_overhead"},
+            "figure2": {
+                "gmean_gemm",
+                "gmean_gemm_tc",
+                "gmean_winograd",
+                "gmean_fft",
+            },
+            "figure3": {
+                "mean_gemm",
+                "mean_gemm_tc",
+                "mean_winograd",
+                "mean_fft",
+            },
+        }
+        for claim in measured_claims():
+            name, metric = claim.measured_by
+            assert metric in static.get(name, set()), claim.key

@@ -1,0 +1,60 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "resnet", "C2", "--lhb", "512", "--max-ctas", "2"]
+        )
+        assert args.network == "resnet"
+        assert args.lhb == 512
+        assert args.max_ctas == 2
+
+    def test_bad_network_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "vgg", "C1"])
+
+
+class TestCommands:
+    def test_layers(self, capsys):
+        assert main(["layers"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet/C1" in out
+        assert "yolo/C6" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "resnet", "C8", "--max-ctas", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert "baseline" in out
+
+    def test_simulate_oracle(self, capsys):
+        assert main(
+            ["simulate", "gan", "C4", "--lhb", "0", "--max-ctas", "1"]
+        ) == 0
+        assert "duplo" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "register reuse" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_network_command(self, capsys):
+        assert main(["network", "fcn", "--batch", "1", "--max-ctas", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "gmean improvement" in out
+
+    def test_network_unknown(self, capsys):
+        assert main(["network", "alexnet"]) == 2
+        assert "unknown network" in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Compiler support: the 32-byte convolution blob and Section IV-D."""
+
+import pytest
+
+from repro.core.compiler import (
+    ConvolutionInfo,
+    build_convolution_info,
+    compiler_only_tag_bytes,
+)
+from repro.conv.workloads import get_layer
+
+from tests.conftest import make_spec
+
+
+class TestConvolutionInfo:
+    def test_blob_is_32_bytes(self, tiny_spec):
+        """The paper: "convolution information ... totals only 32
+        bytes per kernel"."""
+        info = build_convolution_info(tiny_spec, 0x1000)
+        assert info.encoded_bytes == 32
+        assert len(info.encode()) == 32
+
+    def test_fields_from_spec(self, tiny_spec):
+        info = build_convolution_info(tiny_spec, 0x1000)
+        assert info.input_width == 8
+        assert info.filter_height == 3
+        assert info.stride == 1
+        assert info.batch == 1
+        assert info.output_width == 8
+        assert info.workspace_base == 0x1000
+
+    def test_transposed_compiled_to_effective(self, transposed_spec):
+        info = build_convolution_info(transposed_spec, 0)
+        eff = transposed_spec.effective_spec()
+        assert info.stride == 1
+        assert info.input_height == eff.in_height
+
+    def test_default_lda_tile_aligned(self, tiny_spec):
+        info = build_convolution_info(tiny_spec, 0)
+        assert info.lda % 16 == 0
+        assert info.lda >= tiny_spec.filter_volume
+
+    def test_explicit_lda(self, tiny_spec):
+        info = build_convolution_info(tiny_spec, 0, lda=64)
+        assert info.lda == 64
+
+    def test_encode_roundtrips_geometry(self):
+        spec = get_layer("resnet", "C2")
+        info = build_convolution_info(spec, 0x1000_0000)
+        blob = info.encode()
+        assert isinstance(blob, bytes)
+        # Re-encoding is deterministic.
+        assert blob == build_convolution_info(spec, 0x1000_0000).encode()
+
+
+class TestCompilerOnlyCosts:
+    def test_yolo_c2_tag_storage_matches_paper(self):
+        """~6.8M loads x 4 KB tags = 27.2 GB (Section IV-D)."""
+        loads = 6_800_000
+        assert compiler_only_tag_bytes(loads) == pytest.approx(
+            27.2e9, rel=0.01
+        )
+
+    def test_minimal_variant(self):
+        assert compiler_only_tag_bytes(100, tag_bytes_per_load=4) == 400
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            compiler_only_tag_bytes(-1)

@@ -1,0 +1,276 @@
+"""Correctness of every convolution method against the direct reference.
+
+The direct (sliding-window) convolution is itself validated against
+``scipy.signal`` and a hand-computed example; GEMM, Winograd, and FFT
+must then agree with it bit-near-exactly — the equivalence that lets
+the paper treat them as interchangeable implementations of the same
+layer.
+"""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.conv.direct import direct_convolution
+from repro.conv.fft_conv import (
+    fft_applicable,
+    fft_convolution,
+    fft_flop_count,
+    fft_workspace_bytes,
+)
+from repro.conv.gemm import (
+    direct_footprint,
+    explicit_gemm_footprint,
+    filters_to_matrix,
+    gemm_convolution,
+    implicit_gemm_footprint,
+)
+from repro.conv.methods import (
+    FIGURE_METHODS,
+    METHOD_REGISTRY,
+    applicable_methods,
+    get_method,
+)
+from repro.conv.winograd import (
+    transform_filters,
+    winograd_applicable,
+    winograd_convolution,
+    winograd_mac_count,
+    winograd_workspace_bytes,
+)
+from repro.conv.workloads import get_layer
+
+from tests.conftest import make_spec
+
+
+def random_problem(spec, rng):
+    x = rng.standard_normal(spec.input_nhwc)
+    f = rng.standard_normal(spec.filter_nhwc)
+    return x, f
+
+
+class TestDirect:
+    def test_figure1_worked_example(self):
+        spec = make_spec(h=4, w=4, c=1, filters=1, pad=0)
+        x = np.array(
+            [[3, 1, 4, -2], [1, 0, -2, 1], [4, -2, 4, 0], [-2, 1, 0, 3]],
+            dtype=float,
+        ).reshape(1, 4, 4, 1)
+        f = np.array([[1, 0, 3], [-3, -1, 2], [0, 2, 1]], dtype=float).reshape(
+            1, 3, 3, 1
+        )
+        out = direct_convolution(spec, x, f)
+        np.testing.assert_array_equal(
+            out.reshape(2, 2), np.array([[8, 7], [-5, 8]])
+        )
+
+    def test_against_scipy_single_channel(self, rng):
+        spec = make_spec(h=10, w=10, c=1, filters=1, pad=0)
+        x, f = random_problem(spec, rng)
+        out = direct_convolution(spec, x, f)
+        ref = signal.correlate2d(x[0, :, :, 0], f[0, :, :, 0], mode="valid")
+        np.testing.assert_allclose(out[0, :, :, 0], ref, rtol=1e-10)
+
+    def test_channel_reduction(self, rng):
+        spec = make_spec(h=6, w=6, c=3, filters=2, pad=0)
+        x, f = random_problem(spec, rng)
+        out = direct_convolution(spec, x, f)
+        ref = sum(
+            signal.correlate2d(x[0, :, :, c], f[k, :, :, c], mode="valid")
+            for c in range(3)
+            for k in [0]
+        )
+        np.testing.assert_allclose(out[0, :, :, 0], ref, rtol=1e-10)
+
+    def test_linearity(self, tiny_spec, rng):
+        x, f = random_problem(tiny_spec, rng)
+        out2 = direct_convolution(tiny_spec, 2 * x, f)
+        np.testing.assert_allclose(
+            out2, 2 * direct_convolution(tiny_spec, x, f), rtol=1e-10
+        )
+
+    def test_filter_shape_validation(self, tiny_spec, rng):
+        x, _ = random_problem(tiny_spec, rng)
+        with pytest.raises(ValueError, match="filter"):
+            direct_convolution(tiny_spec, x, np.zeros((2, 3, 3, 4)))
+
+    def test_batch_independence(self, rng):
+        spec = make_spec(batch=2, h=6, w=6, c=2, filters=3)
+        x, f = random_problem(spec, rng)
+        full = direct_convolution(spec, x, f)
+        single = make_spec(batch=1, h=6, w=6, c=2, filters=3)
+        np.testing.assert_allclose(
+            full[0], direct_convolution(single, x[:1], f)[0], rtol=1e-10
+        )
+
+
+class TestGemm:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(),
+            dict(pad=0),
+            dict(h=9, w=9, pad=0, stride=2),
+            dict(batch=2, h=6, w=6),
+            dict(h=7, w=5, c=3, filters=5, pad=2),
+        ],
+    )
+    def test_matches_direct(self, rng, kwargs):
+        spec = make_spec(**kwargs)
+        x, f = random_problem(spec, rng)
+        np.testing.assert_allclose(
+            gemm_convolution(spec, x, f),
+            direct_convolution(spec, x, f),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    def test_transposed_matches_direct(self, transposed_spec, rng):
+        x, f = random_problem(transposed_spec, rng)
+        np.testing.assert_allclose(
+            gemm_convolution(transposed_spec, x, f),
+            direct_convolution(transposed_spec, x, f),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    def test_filter_matrix_shape(self, tiny_spec, rng):
+        _, f = random_problem(tiny_spec, rng)
+        b = filters_to_matrix(tiny_spec, f)
+        assert b.shape == (tiny_spec.filter_volume, tiny_spec.num_filters)
+
+    def test_footprints_ordering(self, tiny_spec):
+        explicit = explicit_gemm_footprint(tiny_spec)
+        implicit = implicit_gemm_footprint(tiny_spec)
+        direct = direct_footprint(tiny_spec)
+        assert explicit.total_bytes > implicit.total_bytes >= direct.total_bytes
+        assert implicit.workspace_bytes == 0
+        assert explicit.workspace_bytes == tiny_spec.workspace_bytes
+
+
+class TestWinograd:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(),
+            dict(pad=0),
+            dict(h=7, w=9, pad=1),
+            dict(batch=2, h=6, w=6, c=2, filters=3),
+            dict(h=5, w=5, c=1, filters=1, pad=0),
+        ],
+    )
+    def test_matches_direct(self, rng, kwargs):
+        spec = make_spec(**kwargs)
+        x, f = random_problem(spec, rng)
+        np.testing.assert_allclose(
+            winograd_convolution(spec, x, f),
+            direct_convolution(spec, x, f),
+            rtol=1e-8,
+            atol=1e-8,
+        )
+
+    def test_filter_transform_shape(self, rng):
+        f = rng.standard_normal((5, 3, 3, 2))
+        u = transform_filters(f)
+        assert u.shape == (4, 4, 2, 5)
+
+    def test_applicability_rules(self):
+        assert winograd_applicable(make_spec())
+        assert not winograd_applicable(make_spec(h=9, w=9, pad=0, stride=2))
+        assert not winograd_applicable(make_spec(kh=5, kw=5, pad=2))
+        assert not winograd_applicable(get_layer("gan", "TC1"))
+        assert not winograd_applicable(get_layer("resnet", "C1"))
+        assert winograd_applicable(get_layer("yolo", "C3"))
+
+    def test_inapplicable_raises(self, rng):
+        spec = make_spec(h=9, w=9, pad=0, stride=2)
+        x, f = random_problem(spec, rng)
+        with pytest.raises(ValueError, match="inapplicable"):
+            winograd_convolution(spec, x, f)
+
+    def test_mac_reduction_factor(self):
+        spec = make_spec(h=8, w=8)  # even outputs: exact tiling
+        direct_macs = spec.gemm_shape.macs
+        wino_macs = winograd_mac_count(spec)
+        assert wino_macs / direct_macs == pytest.approx(16 / 36)
+
+    def test_workspace_bytes_positive_and_scales(self, tiny_spec):
+        assert winograd_workspace_bytes(tiny_spec) > 0
+        assert winograd_workspace_bytes(
+            tiny_spec, element_bytes=8
+        ) == 2 * winograd_workspace_bytes(tiny_spec, element_bytes=4)
+
+
+class TestFFT:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(),
+            dict(pad=0),
+            dict(kh=5, kw=5, pad=2),
+            dict(batch=2, h=6, w=6, c=2, filters=3),
+            dict(h=7, w=9, kh=3, kw=5, pad=2),
+        ],
+    )
+    def test_matches_direct(self, rng, kwargs):
+        spec = make_spec(**kwargs)
+        x, f = random_problem(spec, rng)
+        np.testing.assert_allclose(
+            fft_convolution(spec, x, f),
+            direct_convolution(spec, x, f),
+            rtol=1e-8,
+            atol=1e-8,
+        )
+
+    def test_applicability(self):
+        assert fft_applicable(make_spec())
+        assert not fft_applicable(make_spec(h=9, w=9, pad=0, stride=2))
+        assert not fft_applicable(get_layer("gan", "C1"))
+        assert fft_applicable(get_layer("resnet", "C2"))
+
+    def test_inapplicable_raises(self, strided_spec, rng):
+        x, f = random_problem(strided_spec, rng)
+        with pytest.raises(ValueError, match="inapplicable"):
+            fft_convolution(strided_spec, x, f)
+
+    def test_workspace_larger_than_input(self, tiny_spec):
+        assert fft_workspace_bytes(tiny_spec) > tiny_spec.input_elements * 2
+        assert fft_workspace_bytes(
+            tiny_spec, library_allocation=True
+        ) > fft_workspace_bytes(tiny_spec, library_allocation=False)
+
+    def test_flop_count_positive(self, tiny_spec):
+        assert fft_flop_count(tiny_spec) > 0
+
+
+class TestRegistry:
+    def test_all_methods_present(self):
+        assert set(FIGURE_METHODS) <= set(METHOD_REGISTRY)
+        assert "direct" in METHOD_REGISTRY
+
+    def test_every_method_runs_when_applicable(self, tiny_spec, rng):
+        x, f = random_problem(tiny_spec, rng)
+        ref = direct_convolution(tiny_spec, x, f)
+        for name in applicable_methods(tiny_spec):
+            out = METHOD_REGISTRY[name].run(tiny_spec, x, f)
+            np.testing.assert_allclose(out, ref, rtol=1e-7, atol=1e-7)
+
+    def test_applicable_methods_gan(self):
+        # The entire GAN has no Winograd/FFT bars (Figures 2-3).
+        assert applicable_methods(get_layer("gan", "C1")) == ["gemm", "gemm_tc"]
+        assert applicable_methods(get_layer("gan", "TC1")) == ["gemm", "gemm_tc"]
+
+    def test_applicable_methods_unit_stride_3x3(self):
+        assert applicable_methods(get_layer("yolo", "C2")) == list(FIGURE_METHODS)
+
+    def test_get_method_error(self):
+        with pytest.raises(KeyError, match="unknown method"):
+            get_method("im2col")
+
+    def test_check_raises_for_inapplicable(self):
+        with pytest.raises(ValueError, match="inapplicable"):
+            get_method("winograd").check(get_layer("gan", "C1"))
+
+    def test_tensor_core_flags(self):
+        assert METHOD_REGISTRY["gemm_tc"].uses_tensor_cores
+        assert not METHOD_REGISTRY["gemm"].uses_tensor_cores

@@ -1,0 +1,139 @@
+"""Detection unit: programming, bypass, elimination, Table II."""
+
+import pytest
+
+from repro.analysis.table2 import (
+    TABLE_II_SEQUENCE,
+    TOY_SPEC,
+    WORKSPACE_BASE,
+    run_table2_workflow,
+)
+from repro.conv.lowering import workspace_shape
+from repro.core.compiler import build_convolution_info
+from repro.core.detection import DetectionUnit
+from repro.core.idgen import IDMode
+from repro.core.lhb import LoadHistoryBuffer
+
+from tests.conftest import make_spec
+
+BASE = 0x4000
+
+
+def programmed_unit(spec, **lhb_kwargs):
+    defaults = dict(num_entries=64, lifetime=None, hashed_index=False)
+    defaults.update(lhb_kwargs)
+    unit = DetectionUnit(lhb=LoadHistoryBuffer(**defaults))
+    unit.program(spec, build_convolution_info(spec, BASE))
+    return unit
+
+
+def entry_addr(unit, row, col):
+    return BASE + (row * unit.idgen.lda + col) * 2
+
+
+class TestLifecycle:
+    def test_unprogrammed_unit_bypasses(self):
+        unit = DetectionUnit()
+        out = unit.process_load(0, 1, 0x1234)
+        assert not out.in_workspace
+        assert not out.eliminated
+
+    def test_power_gate_clears_state(self, tiny_spec):
+        unit = programmed_unit(tiny_spec)
+        assert unit.powered
+        unit.process_load(0, 1, entry_addr(unit, 0, 0))
+        unit.power_gate()
+        assert not unit.powered
+        with pytest.raises(RuntimeError, match="not programmed"):
+            unit.idgen
+
+    def test_reprogram_flushes_lhb(self, tiny_spec):
+        unit = programmed_unit(tiny_spec)
+        addr = entry_addr(unit, 1, 1)
+        unit.process_load(0, 1, addr)
+        unit.program(tiny_spec, build_convolution_info(tiny_spec, BASE))
+        out = unit.process_load(0, 2, addr)
+        assert not out.eliminated  # fresh kernel, fresh history
+
+
+class TestDetection:
+    def test_non_workspace_bypasses(self, tiny_spec):
+        unit = programmed_unit(tiny_spec)
+        out = unit.process_load(0, 1, 0xDEAD0000)
+        assert not out.in_workspace
+
+    def test_duplicate_entry_eliminated_and_renamed(self, tiny_spec):
+        """Workspace rows 0/1 overlap: (0, c+C) and (1, c) duplicate."""
+        unit = programmed_unit(tiny_spec)
+        c = tiny_spec.in_channels
+        first = unit.process_load(0, 1, entry_addr(unit, 0, 4 * c + c))
+        second = unit.process_load(1, 2, entry_addr(unit, 1, 4 * c))
+        assert first.in_workspace and not first.eliminated
+        assert second.eliminated
+        assert second.phys_reg == first.phys_reg
+        assert second.element_id == first.element_id
+
+    def test_distinct_entries_not_eliminated(self, tiny_spec):
+        unit = programmed_unit(tiny_spec)
+        a = unit.process_load(0, 1, entry_addr(unit, 0, 0))
+        b = unit.process_load(0, 2, entry_addr(unit, 0, 1))
+        assert not a.eliminated and not b.eliminated
+        assert a.phys_reg != b.phys_reg
+
+    def test_store_invalidates(self, tiny_spec):
+        unit = programmed_unit(tiny_spec)
+        addr = entry_addr(unit, 2, 3)
+        unit.process_load(0, 1, addr)
+        assert unit.process_store(addr)
+        assert not unit.process_load(0, 2, addr).eliminated
+
+    def test_store_outside_workspace(self, tiny_spec):
+        unit = programmed_unit(tiny_spec)
+        assert not unit.process_store(0xDEAD0000)
+
+    def test_issues_memory_request_property(self, tiny_spec):
+        unit = programmed_unit(tiny_spec)
+        addr = entry_addr(unit, 3, 3)
+        first = unit.process_load(0, 1, addr)
+        second = unit.process_load(0, 2, addr)
+        assert first.issues_memory_request
+        assert not second.issues_memory_request
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError, match="latency"):
+            DetectionUnit(latency_cycles=0)
+
+
+class TestTableII:
+    def test_statuses_match_paper(self):
+        rows = run_table2_workflow()
+        assert [r["lhb"] for r in rows] == ["miss", "bypass", "hit", "miss"]
+        assert [r["operation"] for r in rows] == [
+            "entry allocation",
+            "N/A",
+            "register reuse",
+            "entry replacement",
+        ]
+
+    def test_element_ids_match_paper(self):
+        rows = run_table2_workflow()
+        assert rows[0]["element_id"] == 2
+        assert rows[2]["element_id"] == 2
+        assert rows[3]["element_id"] == 6
+
+    def test_lhb_entry_indices(self):
+        rows = run_table2_workflow()
+        assert rows[0]["entry"] == 2
+        assert rows[3]["entry"] == 2  # element 6 conflicts with element 2
+
+    def test_hit_reuses_first_loads_register(self):
+        rows = run_table2_workflow()
+        assert rows[2]["reused_from"] == rows[0]["phys_reg"]
+        assert rows[2]["phys_reg"] == rows[0]["phys_reg"]
+
+    def test_array_indices_are_table_ii(self):
+        assert [idx for _, _, idx in TABLE_II_SEQUENCE] == [2, None, 10, 28]
+
+    def test_toy_spec_is_figure6(self):
+        assert workspace_shape(TOY_SPEC) == (4, 9)
+        assert TOY_SPEC.output_shape.pixels == 4

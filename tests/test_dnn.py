@@ -1,0 +1,127 @@
+"""Network composition (SequentialNetwork) and the derived-network zoo."""
+
+import numpy as np
+import pytest
+
+from repro.conv.dnn import (
+    ConvLayer,
+    PoolLayer,
+    SequentialNetwork,
+    SoftmaxLayer,
+    conv,
+)
+from repro.conv.zoo import ZOO, build, discogan_generator, fcn_head, vgg16
+from repro.gpu.config import SimulationOptions
+from repro.gpu.simulator import EliminationMode
+
+
+def tiny_network(batch=1):
+    return SequentialNetwork(
+        "tiny",
+        [
+            conv("c1", "tiny", (batch, 8, 8, 3), 8, kernel=3, pad=1),
+            PoolLayer(),
+            conv("c2", "tiny", (batch, 4, 4, 8), 16, kernel=3, pad=1),
+            SoftmaxLayer(),
+        ],
+    )
+
+
+class TestSequentialNetwork:
+    def test_shape_chaining_validated_at_build(self):
+        with pytest.raises(ValueError, match="input"):
+            SequentialNetwork(
+                "bad",
+                [
+                    conv("c1", "bad", (1, 8, 8, 3), 8, kernel=3, pad=1),
+                    conv("c2", "bad", (1, 4, 4, 8), 8, kernel=3, pad=1),
+                ],
+            )
+
+    def test_output_shape(self):
+        net = tiny_network()
+        assert net.output_nhwc == (1, 4, 4, 16)
+
+    def test_forward_runs_and_normalises(self, rng):
+        net = tiny_network()
+        w = net.init_weights(rng)
+        y = net.forward(rng.standard_normal(net.input_nhwc), w)
+        # Softmax over flattened activations sums to one per image.
+        np.testing.assert_allclose(y.reshape(1, -1).sum(), 1.0)
+
+    def test_relu_nonnegativity(self, rng):
+        net = SequentialNetwork(
+            "r", [conv("c1", "r", (1, 6, 6, 2), 4, kernel=3, pad=1)]
+        )
+        y = net.forward(
+            rng.standard_normal(net.input_nhwc), net.init_weights(rng)
+        )
+        assert (y >= 0).all()
+
+    def test_weight_count_checked(self, rng):
+        net = tiny_network()
+        with pytest.raises(ValueError, match="weight tensors"):
+            net.forward(np.zeros(net.input_nhwc), [])
+
+    def test_needs_layers_and_leading_conv(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            SequentialNetwork("x", [])
+        with pytest.raises(ValueError, match="first layer"):
+            SequentialNetwork("x", [PoolLayer(),
+                                    conv("c", "x", (1, 4, 4, 1), 1, 3, 1)])
+
+    def test_simulate_returns_per_layer_cycles(self):
+        net = tiny_network()
+        cycles = net.simulate(
+            EliminationMode.BASELINE, options=SimulationOptions(max_ctas=1)
+        )
+        assert cycles["total"] == pytest.approx(
+            sum(v for k, v in cycles.items() if k != "total")
+        )
+        assert any(k.endswith(":pool") for k in cycles)
+
+    def test_pool_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            PoolLayer(kind="median")
+        with pytest.raises(ValueError, match="window"):
+            PoolLayer(size=8).output_shape((1, 4, 4, 1))
+
+
+class TestZoo:
+    def test_vgg16_structure(self):
+        net = vgg16(batch=1, resolution=32)
+        specs = net.conv_specs()
+        assert len(specs) == 13
+        assert all(s.filter_height == 3 for s in specs)
+        assert net.output_nhwc == (1, 1, 1, 512)
+
+    def test_vgg_derivable_from_table1_blocks(self):
+        """The paper: VGG derives from Table I's layer shapes — its
+        convs are all 3x3 pad-1 unit-stride like ResNet/YOLO rows."""
+        for spec in vgg16(batch=1, resolution=32).conv_specs():
+            assert (spec.pad, spec.stride) == (1, 1)
+            assert spec.duplication_factor > 5
+
+    def test_discogan_roundtrip_resolution(self):
+        net = discogan_generator(batch=1, resolution=16)
+        assert net.input_nhwc == (1, 16, 16, 3)
+        assert net.output_nhwc == (1, 16, 16, 3)
+        assert sum(s.transposed for s in net.conv_specs()) == 4
+
+    def test_fcn_upsamples(self):
+        net = fcn_head(batch=1, spatial=7, backbone_channels=32)
+        assert net.output_nhwc[1] == 14
+
+    def test_build_by_name(self):
+        assert build("vgg16", batch=1, resolution=32).name == "vgg16"
+        with pytest.raises(KeyError, match="unknown network"):
+            build("alexnet")
+
+    def test_zoo_registry(self):
+        assert set(ZOO) == {"vgg16", "discogan", "fcn"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            vgg16(resolution=100)
+        with pytest.raises(ValueError, match="divisible"):
+            discogan_generator(resolution=100)

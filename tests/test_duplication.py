@@ -1,0 +1,77 @@
+"""Duplication census (Section III-A decomposition)."""
+
+import pytest
+
+from repro.analysis.duplication import duplication_census
+from repro.analysis.table2 import TOY_SPEC
+from repro.conv.lowering import unique_element_count
+from repro.conv.workloads import get_layer
+
+from tests.conftest import make_spec
+
+
+class TestToyExample:
+    """The paper's 4x4 / 3x3 running example (Figures 1, 5, 6)."""
+
+    CENSUS = duplication_census(TOY_SPEC)
+
+    def test_totals(self):
+        assert self.CENSUS.total == 36
+        assert self.CENSUS.unique == 16  # the 16 input elements
+
+    def test_categories_partition(self):
+        c = self.CENSUS
+        assert c.unique + c.intra_patch + c.inter_patch + c.padding == c.total
+
+    def test_figure5_decomposition(self):
+        """Horizontal striding duplicates [1,4],[0,-2],[-2,4] twice per
+        row pair (intra); vertical striding duplicates two full 3-wide
+        rows per patch pair (inter)."""
+        assert self.CENSUS.intra_patch == 8
+        assert self.CENSUS.inter_patch == 12
+
+    def test_duplicate_fraction(self):
+        assert self.CENSUS.duplicate_fraction == pytest.approx(20 / 36)
+
+
+class TestRealLayers:
+    def test_3x3_unit_stride_approaches_8_9(self):
+        """Section V-C: the theoretical hit limit for the Table I mix
+        is 88.9% = 1 - 1/9, dominated by 3x3 unit-stride layers."""
+        c = duplication_census(get_layer("yolo", "C3").with_batch(1))
+        assert c.duplicate_fraction == pytest.approx(8 / 9, abs=0.03)
+
+    def test_unique_matches_analytic_count_when_no_padding(self):
+        spec = make_spec(h=8, w=8, c=4, pad=0)
+        c = duplication_census(spec)
+        assert c.unique == unique_element_count(spec)
+        assert c.padding == 0
+
+    def test_stride_two_reduces_duplication(self):
+        s1 = duplication_census(make_spec(h=9, w=9, pad=0, stride=1))
+        s2 = duplication_census(make_spec(h=9, w=9, pad=0, stride=2))
+        assert s2.duplicate_fraction < s1.duplicate_fraction
+
+    def test_no_cross_image_duplication(self):
+        """Section III-C: batch images never duplicate each other, so
+        the duplicate fraction is batch-invariant."""
+        b1 = duplication_census(make_spec(batch=1, h=6, w=6, c=2))
+        b3 = duplication_census(make_spec(batch=3, h=6, w=6, c=2))
+        assert b3.duplicate_fraction == pytest.approx(b1.duplicate_fraction)
+        assert b3.total == 3 * b1.total
+        assert b3.unique == 3 * b1.unique
+
+    def test_1x1_filter_has_no_duplicates(self):
+        c = duplication_census(make_spec(kh=1, kw=1, pad=0))
+        assert c.duplicates == 0
+        assert c.duplicate_fraction == 0.0
+
+    def test_fractions_sum_to_one(self):
+        c = duplication_census(make_spec(h=7, w=9, c=3, pad=2, kh=5, kw=5))
+        assert sum(c.fractions().values()) == pytest.approx(1.0)
+
+    def test_inter_patch_dominates_3x3(self):
+        """With a 3x3 filter, two of the three rows of every receptive
+        field repeat vertically: inter-patch > intra-patch."""
+        c = duplication_census(get_layer("resnet", "C2").with_batch(1))
+        assert c.inter_patch > c.intra_patch

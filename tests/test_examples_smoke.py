@@ -1,0 +1,47 @@
+"""Smoke-run the fast example scripts end to end.
+
+Each example is a deliverable; running the quick ones as subprocesses
+guards their imports, argument handling, and output paths.  The
+longer sweeps (lhb_design_space, network_inference, derived_networks,
+training_study, implicit_vs_explicit) exercise the same library paths
+already covered by the benchmark suite and are excluded to keep the
+unit-test run fast.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "duplication_anatomy.py",
+    "pipeline_walkthrough.py",
+    "multikernel_sharing.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES.parent,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_have_docstrings_and_mains():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.startswith('"""'), script
+        assert '__name__ == "__main__"' in text, script
+        assert "Run:" in text, f"{script} lacks run instructions"

@@ -1,0 +1,124 @@
+"""Backward-pass substrate: adjoint identities and dgrad geometry."""
+
+import numpy as np
+import pytest
+
+from repro.conv.direct import direct_convolution
+from repro.conv.gradients import (
+    data_gradient,
+    data_gradient_spec,
+    weight_gradient,
+    weight_gradient_gemm_shape,
+)
+from repro.conv.workloads import ALL_LAYERS, get_layer
+
+from tests.conftest import make_spec
+
+
+def problem(spec, rng):
+    x = rng.standard_normal(spec.input_nhwc)
+    f = rng.standard_normal(spec.filter_nhwc)
+    out = spec.output_shape
+    dy = rng.standard_normal((spec.batch, out.height, out.width,
+                              spec.num_filters))
+    return x, f, dy
+
+
+SPECS = [
+    dict(),
+    dict(pad=0),
+    dict(h=9, w=9, pad=0, stride=2),
+    dict(batch=2, h=6, w=6, c=3, filters=5, kh=5, kw=5, pad=2),
+    dict(h=4, w=4, c=8, filters=4, kh=5, kw=5, pad=2, stride=2,
+         transposed=True, output_pad=1),
+]
+
+
+class TestAdjointIdentities:
+    """<conv(x,f), dy> == <x, dgrad(dy,f)> == <f, wgrad(x,dy)>."""
+
+    @pytest.mark.parametrize("kwargs", SPECS)
+    def test_data_gradient_adjoint(self, rng, kwargs):
+        spec = make_spec(**kwargs)
+        x, f, dy = problem(spec, rng)
+        lhs = float((direct_convolution(spec, x, f) * dy).sum())
+        rhs = float((x * data_gradient(spec, dy, f)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    @pytest.mark.parametrize("kwargs", SPECS)
+    def test_weight_gradient_adjoint(self, rng, kwargs):
+        spec = make_spec(**kwargs)
+        x, f, dy = problem(spec, rng)
+        lhs = float((direct_convolution(spec, x, f) * dy).sum())
+        rhs = float((f * weight_gradient(spec, x, dy)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_weight_gradient_matches_finite_difference(self, rng):
+        spec = make_spec(h=5, w=5, c=2, filters=2, pad=1)
+        x, f, dy = problem(spec, rng)
+        dw = weight_gradient(spec, x, dy)
+        eps = 1e-6
+        f2 = f.copy()
+        f2[1, 2, 1, 0] += eps
+        loss = lambda ff: float((direct_convolution(spec, x, ff) * dy).sum())
+        numeric = (loss(f2) - loss(f)) / eps
+        assert dw[1, 2, 1, 0] == pytest.approx(numeric, rel=1e-4)
+
+
+class TestShapes:
+    def test_gradient_shapes(self, tiny_spec, rng):
+        x, f, dy = problem(tiny_spec, rng)
+        assert weight_gradient(tiny_spec, x, dy).shape == f.shape
+        assert data_gradient(tiny_spec, dy, f).shape == x.shape
+
+    def test_bad_dy_rejected(self, tiny_spec, rng):
+        x, f, _ = problem(tiny_spec, rng)
+        with pytest.raises(ValueError, match="output-grad"):
+            weight_gradient(tiny_spec, x, np.zeros((1, 2, 2, 8)))
+
+    def test_wgrad_gemm_shape_transposes_m_and_k(self, tiny_spec):
+        g = tiny_spec.gemm_shape
+        wg = weight_gradient_gemm_shape(tiny_spec)
+        assert (wg.m, wg.n, wg.k) == (g.k, g.n, g.m)
+        assert wg.macs == g.macs
+
+
+class TestDataGradientSpec:
+    def test_unit_stride_is_full_correlation(self, tiny_spec):
+        d = data_gradient_spec(tiny_spec)
+        assert not d.transposed
+        assert d.pad == tiny_spec.filter_height - 1 - tiny_spec.pad
+        assert d.in_channels == tiny_spec.num_filters
+        assert d.num_filters == tiny_spec.in_channels
+
+    def test_output_recovers_input_extent(self):
+        for kwargs in SPECS[:3]:
+            spec = make_spec(**kwargs)
+            d = data_gradient_spec(spec)
+            out = d.output_shape
+            assert (out.height, out.width) >= (
+                spec.in_height,
+                spec.in_width,
+            ), (spec, d)
+
+    def test_strided_forward_gives_transposed_dgrad(self, strided_spec):
+        d = data_gradient_spec(strided_spec)
+        assert d.transposed
+        assert d.stride == strided_spec.stride
+
+    def test_macs_match_forward(self, tiny_spec):
+        """dgrad moves the same MAC volume as the forward conv."""
+        d = data_gradient_spec(tiny_spec)
+        assert d.gemm_shape.macs == pytest.approx(
+            tiny_spec.gemm_shape.macs, rel=0.3
+        )
+
+    def test_table1_layers_all_have_dgrad_specs(self):
+        for spec in ALL_LAYERS:
+            d = data_gradient_spec(spec)
+            assert d.batch == spec.batch
+            assert d.gemm_shape.macs > 0
+
+    def test_dgrad_of_3x3_has_duplication(self):
+        d = data_gradient_spec(get_layer("yolo", "C3"))
+        assert d.duplication_factor > 5

@@ -1,0 +1,196 @@
+"""ID generation (Section III): paper formulas, canonical map, addresses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.table2 import TOY_SPEC
+from repro.conv.lowering import lower_input, workspace_shape
+from repro.core.idgen import (
+    IDGenerator,
+    IDMode,
+    canonical_ids,
+    paper_ids,
+    paper_patch_ids,
+    strict_ids,
+)
+
+from tests.conftest import make_spec
+
+#: Figure 6's published ID tables for the 4x9 toy workspace.
+FIG6_PATCH_IDS = np.array(
+    [
+        [0, 0, 0, 1, 1, 1, 2, 2, 2],
+        [0, 0, 0, 1, 1, 1, 2, 2, 2],
+        [1, 1, 1, 2, 2, 2, 3, 3, 3],
+        [1, 1, 1, 2, 2, 2, 3, 3, 3],
+    ]
+)
+FIG6_ELEMENT_IDS = np.array(
+    [
+        [0, 1, 2, 4, 5, 6, 8, 9, 10],
+        [1, 2, 3, 5, 6, 7, 9, 10, 11],
+        [4, 5, 6, 8, 9, 10, 12, 13, 14],
+        [5, 6, 7, 9, 10, 11, 13, 14, 15],
+    ]
+)
+
+
+def all_entries(spec):
+    rows, cols = workspace_shape(spec)
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    return rr.ravel(), cc.ravel()
+
+
+class TestPaperFormulas:
+    def test_figure6_patch_ids(self):
+        rows, cols = all_entries(TOY_SPEC)
+        patch = paper_patch_ids(TOY_SPEC, rows, cols).reshape(4, 9)
+        np.testing.assert_array_equal(patch, FIG6_PATCH_IDS)
+
+    def test_figure6_element_ids(self):
+        rows, cols = all_entries(TOY_SPEC)
+        _, element = paper_ids(TOY_SPEC, rows, cols)
+        np.testing.assert_array_equal(element.reshape(4, 9), FIG6_ELEMENT_IDS)
+
+    def test_figure6_unique_count_matches_input(self):
+        rows, cols = all_entries(TOY_SPEC)
+        _, element = paper_ids(TOY_SPEC, rows, cols)
+        # "there are total 16 unique element IDs from 0 to 15, and the
+        # count matches the number of elements in the original 4x4 input"
+        assert sorted(set(element.tolist())) == list(range(16))
+
+    def test_agrees_with_canonical_on_toy(self):
+        rows, cols = all_entries(TOY_SPEC)
+        _, paper = paper_ids(TOY_SPEC, rows, cols)
+        _, canon = canonical_ids(TOY_SPEC, rows, cols)
+        np.testing.assert_array_equal(paper, canon)
+
+    def test_batch_ids(self):
+        spec = make_spec(batch=2, h=4, w=4, c=1, filters=1, pad=0)
+        rows, cols = all_entries(spec)
+        batch, element = paper_ids(spec, rows, cols)
+        per_image = spec.output_shape.pixels
+        assert set(batch[rows < per_image].tolist()) == {0}
+        assert set(batch[rows >= per_image].tolist()) == {1}
+
+    def test_equivalence_classes_match_canonical_multichannel(self):
+        """Paper IDs must group duplicates exactly like the ground
+        truth on an interior (padding-free) multi-channel layer."""
+        spec = make_spec(h=6, w=6, c=2, filters=1, pad=0)
+        rows, cols = all_entries(spec)
+        _, paper = paper_ids(spec, rows, cols)
+        _, canon = canonical_ids(spec, rows, cols)
+        groups_paper = {}
+        groups_canon = {}
+        for i, (p, c) in enumerate(zip(paper.tolist(), canon.tolist())):
+            groups_paper.setdefault(p, set()).add(i)
+            groups_canon.setdefault(c, set()).add(i)
+        assert (
+            sorted(map(sorted, groups_paper.values()))
+            == sorted(map(sorted, groups_canon.values()))
+        )
+
+
+class TestCanonicalIDs:
+    def test_equal_id_implies_equal_value(self, rng):
+        spec = make_spec(h=6, w=6, c=3, filters=2, pad=1)
+        x = rng.standard_normal(spec.input_nhwc)
+        ws = lower_input(spec, x).matrix
+        rows, cols = all_entries(spec)
+        batch, element = canonical_ids(spec, rows, cols)
+        seen = {}
+        for b, e, v in zip(batch, element, ws.ravel()):
+            key = (int(b), int(e))
+            assert seen.setdefault(key, v) == v
+
+    def test_strided_and_transposed(self, strided_spec, transposed_spec, rng):
+        for spec in (strided_spec, transposed_spec):
+            x = rng.standard_normal(spec.input_nhwc)
+            ws = lower_input(spec, x).matrix
+            rows, cols = all_entries(spec)
+            batch, element = canonical_ids(spec, rows, cols)
+            seen = {}
+            for b, e, v in zip(batch, element, ws.ravel()):
+                key = (int(b), int(e))
+                assert seen.setdefault(key, v) == v
+
+    def test_strict_refines_canonical(self, tiny_spec):
+        rows, cols = all_entries(tiny_spec)
+        _, canon = canonical_ids(tiny_spec, rows, cols)
+        _, strict = strict_ids(tiny_spec, rows, cols)
+        # Same strict ID -> same canonical ID (strict partitions finer).
+        mapping = {}
+        for s, c in zip(strict.tolist(), canon.tolist()):
+            assert mapping.setdefault(s, c) == c
+        assert len(set(strict.tolist())) >= len(set(canon.tolist()))
+
+
+class TestIDGenerator:
+    BASE = 0x1000
+
+    def make_gen(self, spec, mode=IDMode.CANONICAL, lda=None):
+        _, cols = workspace_shape(spec)
+        return IDGenerator(
+            spec, workspace_base=self.BASE, lda=lda or cols, mode=mode
+        )
+
+    def test_region_check(self, tiny_spec):
+        gen = self.make_gen(tiny_spec)
+        assert gen.contains(self.BASE)
+        assert not gen.contains(self.BASE - 2)
+        assert not gen.contains(gen.workspace_end)
+
+    def test_address_to_entry_roundtrip(self, tiny_spec):
+        gen = self.make_gen(tiny_spec)
+        addr = self.BASE + (5 * gen.lda + 7) * 2
+        assert gen.address_to_entry(addr) == (5, 7)
+
+    def test_misaligned_address_rejected(self, tiny_spec):
+        gen = self.make_gen(tiny_spec)
+        with pytest.raises(ValueError, match="aligned"):
+            gen.address_to_entry(self.BASE + 1)
+
+    def test_out_of_region_rejected(self, tiny_spec):
+        gen = self.make_gen(tiny_spec)
+        with pytest.raises(ValueError, match="outside"):
+            gen.address_to_entry(self.BASE - 4)
+
+    def test_generate_outside_workspace(self, tiny_spec):
+        gen = self.make_gen(tiny_spec)
+        out = gen.generate(0xDEAD0000)
+        assert not out.in_workspace
+
+    def test_generate_matches_vectorised(self, multibatch_spec):
+        gen = self.make_gen(multibatch_spec)
+        rows, cols = workspace_shape(multibatch_spec)
+        addrs = [self.BASE + (r * gen.lda + c) * 2
+                 for r, c in [(0, 0), (rows - 1, cols - 1), (7, 3)]]
+        ok, batch, element = gen.generate_for_addresses(np.array(addrs))
+        assert ok.all()
+        for addr, b, e in zip(addrs, batch, element):
+            single = gen.generate(addr)
+            assert (single.batch_id, single.element_id) == (b, e)
+
+    def test_lda_padding_columns_not_workspace(self, tiny_spec):
+        _, cols = workspace_shape(tiny_spec)
+        gen = self.make_gen(tiny_spec, lda=cols + 4)
+        addr = self.BASE + (0 * gen.lda + cols) * 2  # first pad column
+        assert not gen.generate(addr).in_workspace
+
+    def test_lda_too_small_rejected(self, tiny_spec):
+        _, cols = workspace_shape(tiny_spec)
+        with pytest.raises(ValueError, match="leading dimension"):
+            IDGenerator(tiny_spec, self.BASE, lda=cols - 1)
+
+    def test_paper_mode(self):
+        gen = IDGenerator(TOY_SPEC, self.BASE, lda=9, mode=IDMode.PAPER)
+        # array_idx 10 -> element 2 (Table II instruction #3).
+        out = gen.generate(self.BASE + 10 * 2)
+        assert out.element_id == 2
+
+    def test_vectorised_flags_out_of_range(self, tiny_spec):
+        gen = self.make_gen(tiny_spec)
+        ok, _, _ = gen.generate_for_addresses(
+            np.array([self.BASE, self.BASE - 8, self.BASE + 1])
+        )
+        assert ok.tolist() == [True, False, False]

@@ -1,0 +1,134 @@
+"""Cross-module integration: the simulator's eliminations are *real*.
+
+The decisive check: replay a layer whose workspace we explicitly
+materialise with random data, intercept every load the LHB eliminates,
+and verify the skipped fragment's bytes are identical to the fragment
+the renamed register already holds.  If this passes, Duplo's
+elimination is functionally lossless end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conv.lowering import lower_input, workspace_shape
+from repro.core.compiler import build_convolution_info
+from repro.core.idgen import IDGenerator, IDMode
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.config import GPUConfig, KernelConfig, SimulationOptions
+from repro.gpu.isa import LOAD_A, WORKSPACE_BASE
+from repro.gpu.kernel import gemm_geometry, generate_sm_trace
+
+from tests.conftest import make_spec
+
+GPU = GPUConfig(num_sms=1)
+KERNEL = KernelConfig(warp_runahead=8)
+
+
+def padded_workspace(spec, rng):
+    """Materialise the explicit workspace exactly as the kernel lays
+    it out: logical rows/cols padded to the allocation pitch."""
+    geom = gemm_geometry(spec)
+    ws = lower_input(spec, rng.standard_normal(spec.input_nhwc)).matrix
+    alloc = np.zeros((geom.m_pad, geom.lda))
+    alloc[: ws.shape[0], : ws.shape[1]] = ws
+    return alloc, geom
+
+
+@pytest.mark.parametrize(
+    "spec_kwargs",
+    [
+        dict(batch=1, h=10, w=10, c=16, filters=16),
+        dict(batch=2, h=8, w=8, c=16, filters=16, pad=0),
+        dict(batch=1, h=9, w=9, c=16, filters=16, pad=0, stride=2),
+        dict(batch=1, h=4, w=4, c=16, filters=16, kh=5, kw=5, pad=2,
+             stride=2, transposed=True, output_pad=1),
+    ],
+)
+def test_eliminated_fragments_hold_identical_values(spec_kwargs, rng):
+    spec = make_spec(**spec_kwargs)
+    alloc, geom = padded_workspace(spec, rng)
+    trace = generate_sm_trace(spec, GPU, KERNEL, SimulationOptions())
+
+    info = build_convolution_info(spec, WORKSPACE_BASE, lda=geom.lda)
+    idgen = IDGenerator(spec, WORKSPACE_BASE, geom.lda, mode=IDMode.CANONICAL)
+    lhb = LoadHistoryBuffer(num_entries=None, lifetime=None)
+
+    def fragment_values(addr):
+        idx = (addr - WORKSPACE_BASE) // 2
+        row, col = divmod(idx, geom.lda)
+        return alloc[row, col : col + 16]
+
+    holder = {}  # element/batch tag -> fragment values
+    checked = 0
+    for i in range(len(trace.kind)):
+        if trace.kind[i] != LOAD_A:
+            continue
+        addr = int(trace.address[i])
+        gen = idgen.generate(addr)
+        if not gen.in_workspace:
+            continue
+        result = lhb.access(gen.element_id, gen.batch_id, i)
+        values = fragment_values(addr)
+        key = (gen.element_id, gen.batch_id)
+        if result.hit:
+            np.testing.assert_array_equal(values, holder[key])
+            checked += 1
+        else:
+            holder[key] = values.copy()
+    assert checked > 0, "no eliminations happened; test proves nothing"
+
+
+def test_strict_mode_also_lossless(rng):
+    """STRICT IDs are a refinement, so they must be lossless too."""
+    spec = make_spec(batch=1, h=10, w=10, c=16, filters=16)
+    alloc, geom = padded_workspace(spec, rng)
+    trace = generate_sm_trace(spec, GPU, KERNEL, SimulationOptions())
+    idgen = IDGenerator(spec, WORKSPACE_BASE, geom.lda, mode=IDMode.STRICT)
+    lhb = LoadHistoryBuffer(num_entries=None, lifetime=None)
+    holder = {}
+    hits = 0
+    for i in range(len(trace.kind)):
+        if trace.kind[i] != LOAD_A:
+            continue
+        addr = int(trace.address[i])
+        gen = idgen.generate(addr)
+        if not gen.in_workspace:
+            continue
+        idx = (addr - WORKSPACE_BASE) // 2
+        row, col = divmod(idx, geom.lda)
+        values = alloc[row, col : col + 16]
+        key = (gen.element_id, gen.batch_id)
+        if lhb.access(gen.element_id, gen.batch_id, i).hit:
+            np.testing.assert_array_equal(values, holder[key])
+            hits += 1
+        else:
+            holder[key] = values.copy()
+    assert hits > 0
+
+
+def test_gemm_result_unchanged_by_elimination(rng):
+    """Computing the GEMM with renamed (shared) fragments gives the
+    same output as computing it with freshly loaded fragments."""
+    spec = make_spec(batch=1, h=8, w=8, c=4, filters=4)
+    x = rng.standard_normal(spec.input_nhwc)
+    f = rng.standard_normal(spec.filter_nhwc)
+    ws = lower_input(spec, x).matrix
+
+    rows, cols = workspace_shape(spec)
+    from repro.conv.lowering import entries_to_padded_flat
+
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    batch, element = entries_to_padded_flat(spec, rr.ravel(), cc.ravel())
+    # Rebuild the workspace *through the ID map*: every entry reads the
+    # value of its ID's first occurrence (what renaming does).
+    first_value = {}
+    rebuilt = np.empty(rows * cols)
+    flat = ws.ravel()
+    for i, key in enumerate(zip(batch.tolist(), element.tolist())):
+        rebuilt[i] = first_value.setdefault(key, flat[i])
+    rebuilt = rebuilt.reshape(rows, cols)
+
+    from repro.conv.gemm import filters_to_matrix
+
+    b = filters_to_matrix(spec, f)
+    np.testing.assert_allclose(rebuilt @ b, ws @ b, rtol=1e-12)

@@ -1,0 +1,162 @@
+"""Layer geometry: output shapes, GEMM dims, transposed convolutions."""
+
+import math
+
+import pytest
+
+from repro.conv.layer import ConvLayerSpec, GemmShape, HALF_BYTES
+from repro.conv.workloads import get_layer
+
+from tests.conftest import make_spec
+
+
+class TestOutputShape:
+    def test_unit_stride_same_padding(self):
+        spec = make_spec(h=8, w=8, kh=3, kw=3, pad=1, stride=1)
+        assert (spec.output_shape.height, spec.output_shape.width) == (8, 8)
+
+    def test_valid_padding_shrinks(self):
+        spec = make_spec(h=8, w=8, pad=0)
+        assert (spec.output_shape.height, spec.output_shape.width) == (6, 6)
+
+    def test_stride_two(self):
+        spec = make_spec(h=9, w=9, pad=0, stride=2)
+        assert (spec.output_shape.height, spec.output_shape.width) == (4, 4)
+
+    def test_resnet_c1_output_is_112(self):
+        spec = get_layer("resnet", "C1")
+        assert spec.output_shape.height == 112
+        assert spec.output_shape.width == 112
+
+    def test_rectangular_input(self):
+        spec = make_spec(h=10, w=6, pad=0, kh=3, kw=3)
+        assert (spec.output_shape.height, spec.output_shape.width) == (8, 4)
+
+    def test_output_channels_track_filters(self):
+        spec = make_spec(filters=13)
+        assert spec.output_shape.channels == 13
+
+    def test_pixels_and_elements(self):
+        out = make_spec(h=8, w=8, pad=0).output_shape
+        assert out.pixels == 36
+        assert out.elements == 36 * 8
+
+
+class TestTransposed:
+    def test_dcgan_doubles_spatial_size(self, transposed_spec):
+        out = transposed_spec.output_shape
+        assert (out.height, out.width) == (8, 8)
+
+    def test_effective_spec_is_unit_stride(self, transposed_spec):
+        eff = transposed_spec.effective_spec()
+        assert eff.stride == 1
+        assert not eff.transposed
+        assert eff.in_height == (4 - 1) * 2 + 1 + 1
+
+    def test_effective_spec_identity_for_forward(self, tiny_spec):
+        assert tiny_spec.effective_spec() is tiny_spec
+
+    def test_gan_tc_chain_matches_table1(self):
+        for name, next_hw in [("TC1", 8), ("TC2", 16), ("TC3", 32)]:
+            out = get_layer("gan", name).output_shape
+            assert out.height == next_hw, name
+
+    def test_tc4_feeds_gan_c1(self):
+        out = get_layer("gan", "TC4").output_shape
+        c1 = get_layer("gan", "C1")
+        assert (out.height, out.width, out.channels) == (64, 64, 3)
+        assert (c1.in_height, c1.in_width, c1.in_channels) == (64, 64, 3)
+
+
+class TestGemmShape:
+    def test_dimensions(self, tiny_spec):
+        g = tiny_spec.gemm_shape
+        assert g.m == 1 * 8 * 8
+        assert g.n == 8
+        assert g.k == 3 * 3 * 4
+
+    def test_macs_match_direct_convolution(self, tiny_spec):
+        out = tiny_spec.output_shape
+        expected = (
+            tiny_spec.batch
+            * out.pixels
+            * tiny_spec.num_filters
+            * tiny_spec.filter_volume
+        )
+        assert tiny_spec.gemm_shape.macs == expected
+
+    def test_flops_twice_macs(self):
+        g = GemmShape(m=10, n=20, k=30)
+        assert g.flops == 2 * g.macs
+
+    def test_padded_rounds_up(self):
+        g = GemmShape(m=17, n=16, k=1).padded(16)
+        assert (g.m, g.n, g.k) == (32, 16, 16)
+
+    def test_workspace_bytes(self, tiny_spec):
+        g = tiny_spec.gemm_shape
+        assert tiny_spec.workspace_bytes == g.m * g.k * HALF_BYTES
+
+
+class TestDuplication:
+    def test_unit_stride_3x3_is_nearly_9x(self):
+        spec = get_layer("yolo", "C3")
+        assert spec.duplication_factor == pytest.approx(9.0, rel=0.01)
+
+    def test_stride_reduces_duplication(self):
+        s1 = make_spec(h=16, w=16, pad=1, stride=1)
+        s2 = make_spec(h=16, w=16, pad=1, stride=2)
+        assert s2.duplication_factor < s1.duplication_factor
+
+    def test_transposed_counts_upsampled_elements(self, transposed_spec):
+        eff = transposed_spec.effective_spec()
+        assert transposed_spec.effective_input_elements == eff.input_elements
+
+
+class TestValidationAndHelpers:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(batch=0),
+            dict(h=0),
+            dict(c=0),
+            dict(filters=0),
+            dict(pad=-1),
+            dict(stride=0),
+            dict(h=2, w=2, kh=5, kw=5, pad=0),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            make_spec(**kwargs)
+
+    def test_output_pad_only_for_transposed(self):
+        with pytest.raises(ValueError):
+            make_spec(output_pad=1)
+
+    def test_with_batch(self, tiny_spec):
+        assert tiny_spec.with_batch(32).batch == 32
+        assert tiny_spec.with_batch(32).in_height == tiny_spec.in_height
+
+    def test_scaled_halves_spatial_dims(self):
+        spec = make_spec(h=16, w=16).scaled(0.5)
+        assert (spec.in_height, spec.in_width) == (8, 8)
+
+    def test_scaled_never_below_filter(self):
+        spec = make_spec(h=16, w=16, kh=5, kw=5, pad=2).scaled(0.01)
+        assert spec.in_height >= 5
+
+    def test_qualified_name_and_str(self, tiny_spec):
+        assert tiny_spec.qualified_name == "test/tiny"
+        assert "pad=1" in str(tiny_spec)
+        assert "transposed" in str(make_spec(transposed=True, stride=2,
+                                             output_pad=1, kh=5, kw=5, pad=2))
+
+    def test_nhwc_tuples(self, tiny_spec):
+        assert tiny_spec.input_nhwc == (1, 8, 8, 4)
+        assert tiny_spec.filter_nhwc == (8, 3, 3, 4)
+
+    def test_specs_are_hashable_and_frozen(self, tiny_spec):
+        {tiny_spec: 1}
+        with pytest.raises(Exception):
+            tiny_spec.batch = 2

@@ -1,0 +1,153 @@
+"""Trace replay: LHB elimination, cache routing, service breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.config import GPUConfig, KernelConfig, SimulationOptions
+from repro.gpu.isa import LOAD_A, STORE_D
+from repro.gpu.kernel import generate_sm_trace
+from repro.gpu.ldst import (
+    EliminationMode,
+    instruction_bases,
+    replay_trace,
+    workspace_unique_ids,
+)
+
+from tests.conftest import make_spec
+
+GPU = GPUConfig(num_sms=2)
+KERNEL = KernelConfig(warp_runahead=4)
+OPTIONS = SimulationOptions()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_spec(batch=2, h=8, w=8, c=16, filters=16)
+
+
+@pytest.fixture(scope="module")
+def trace(spec):
+    return generate_sm_trace(spec, GPU, KERNEL, OPTIONS)
+
+
+def replay(trace, spec, mode=EliminationMode.DUPLO, lhb=None, options=OPTIONS):
+    return replay_trace(trace, spec, GPU, options, mode, lhb)
+
+
+class TestBaseline:
+    def test_no_elimination(self, trace, spec):
+        stats = replay(trace, spec, EliminationMode.BASELINE)
+        assert stats.lhb_lookups == 0
+        assert stats.eliminated_fragments == 0
+        assert stats.breakdown.lhb == 0
+
+    def test_every_load_served_once(self, trace, spec):
+        stats = replay(trace, spec, EliminationMode.BASELINE)
+        assert stats.breakdown.total == stats.loads_total
+
+    def test_load_accounting(self, trace, spec):
+        stats = replay(trace, spec, EliminationMode.BASELINE)
+        assert stats.loads_total == stats.loads_workspace + stats.loads_filter
+        assert stats.loads_workspace == int((trace.kind == LOAD_A).sum())
+        assert stats.stores == int((trace.kind == STORE_D).sum())
+
+    def test_dram_bytes_track_misses(self, trace, spec):
+        stats = replay(trace, spec, EliminationMode.BASELINE)
+        assert stats.dram_read_bytes == stats.breakdown.dram * GPU.l1_line_bytes
+        assert stats.dram_write_bytes == stats.stores * 64
+
+
+class TestDuplo:
+    def test_elimination_happens(self, trace, spec):
+        stats = replay(trace, spec)
+        assert stats.lhb_hits > 0
+        assert stats.eliminated_fragments == stats.breakdown.lhb
+
+    def test_served_sum_invariant(self, trace, spec):
+        stats = replay(trace, spec)
+        assert stats.breakdown.total == stats.loads_total
+
+    def test_hits_bounded_by_theory(self, trace, spec):
+        oracle = LoadHistoryBuffer(num_entries=None, lifetime=None)
+        stats = replay(trace, spec, lhb=oracle)
+        assert stats.lhb_hit_rate <= stats.theoretical_hit_limit + 1e-12
+
+    def test_infinite_everything_reaches_theory(self, trace, spec):
+        oracle = LoadHistoryBuffer(num_entries=None, lifetime=None)
+        stats = replay(trace, spec, lhb=oracle)
+        assert stats.lhb_hit_rate == pytest.approx(
+            stats.theoretical_hit_limit
+        )
+
+    def test_duplo_reduces_traffic_vs_baseline(self, trace, spec):
+        base = replay(trace, spec, EliminationMode.BASELINE)
+        duplo = replay(trace, spec)
+        assert duplo.l1_accesses < base.l1_accesses
+        assert duplo.dram_read_bytes <= base.dram_read_bytes
+
+    def test_bigger_lhb_never_worse(self, trace, spec):
+        hits = []
+        for entries in (64, 256, 1024, None):
+            lhb = LoadHistoryBuffer(num_entries=entries, lifetime=4096)
+            hits.append(replay(trace, spec, lhb=lhb).lhb_hits)
+        assert hits == sorted(hits)
+
+    def test_filter_loads_never_consult_lhb(self, trace, spec):
+        stats = replay(trace, spec)
+        assert stats.lhb_lookups <= stats.workspace_instructions
+
+
+class TestGranularity:
+    def test_instruction_mode_fewer_lookups(self, trace, spec):
+        frag = replay(trace, spec)
+        opts = SimulationOptions(lhb_granularity="instruction")
+        inst = replay(trace, spec, options=opts)
+        assert inst.lhb_lookups * 16 == frag.lhb_lookups
+        assert inst.workspace_instructions * 16 == frag.workspace_instructions
+
+    def test_instruction_mode_eliminates_whole_tiles(self, trace, spec):
+        opts = SimulationOptions(lhb_granularity="instruction")
+        stats = replay(trace, spec, options=opts)
+        assert stats.eliminated_fragments == 16 * stats.lhb_hits
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ValueError, match="lhb_granularity"):
+            SimulationOptions(lhb_granularity="warp")
+
+
+class TestWir:
+    def test_wir_eliminates_same_address_reuse(self, trace, spec):
+        stats = replay(trace, spec, EliminationMode.WIR)
+        # Octet dual-loads alone guarantee hits.
+        assert stats.lhb_hit_rate >= 0.5
+
+    def test_duplo_at_least_matches_wir_on_workspace(self, trace, spec):
+        """Duplo subsumes same-address reuse for workspace loads and
+        adds cross-address duplicates (Section V-B's comparison)."""
+        oracle = lambda: LoadHistoryBuffer(num_entries=None, lifetime=None)
+        wir = replay(trace, spec, EliminationMode.WIR, lhb=oracle())
+        duplo = replay(trace, spec, EliminationMode.DUPLO, lhb=oracle())
+        # WIR looks up A and B loads; compare per-fragment elimination
+        # restricted to what each can possibly catch.
+        assert duplo.lhb_hit_rate >= wir.lhb_hit_rate
+
+
+class TestHelpers:
+    def test_instruction_bases_are_group_starts(self, trace):
+        bases = instruction_bases(trace)
+        assert (trace.kind[bases] == LOAD_A).all()
+        ins = trace.instr[bases]
+        assert len(np.unique(ins)) == len(ins)
+
+    def test_workspace_unique_ids_counts(self, trace, spec):
+        lookups, uniques = workspace_unique_ids(trace, spec, OPTIONS)
+        assert 0 < uniques <= lookups
+        assert lookups == int((trace.kind == LOAD_A).sum())
+
+    def test_merge_padding_reduces_uniques(self, trace, spec):
+        _, plain = workspace_unique_ids(trace, spec, OPTIONS)
+        _, merged = workspace_unique_ids(
+            trace, spec, SimulationOptions(merge_padding=True)
+        )
+        assert merged <= plain

@@ -1,0 +1,243 @@
+"""Lowering (im2col): the workspace construction and its inverse maps.
+
+The central invariant of the whole reproduction lives here: two
+workspace entries hold the same value **iff** the inverse map sends
+them to the same padded input coordinate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conv.lowering import (
+    MERGED_PADDING_ID,
+    col2im,
+    entries_to_padded_flat,
+    lower_input,
+    unique_element_count,
+    upsample_zero_insert,
+    workspace_entry_to_input_coord,
+    workspace_shape,
+)
+
+from tests.conftest import make_spec
+
+
+def random_input(spec, rng):
+    return rng.standard_normal(spec.input_nhwc)
+
+
+class TestWorkspaceShape:
+    def test_matches_gemm_dims(self, tiny_spec):
+        rows, cols = workspace_shape(tiny_spec)
+        g = tiny_spec.gemm_shape
+        assert (rows, cols) == (g.m, g.k)
+
+    def test_figure1_example_shape(self):
+        # 4x4 input, 3x3 filter, no padding -> 4x9 workspace.
+        spec = make_spec(h=4, w=4, c=1, filters=1, pad=0)
+        assert workspace_shape(spec) == (4, 9)
+
+
+class TestLowerInput:
+    def test_figure1_example_values(self):
+        # The worked example from Figure 1(b) of the paper.
+        spec = make_spec(h=4, w=4, c=1, filters=1, pad=0)
+        x = np.array(
+            [[3, 1, 4, -2], [1, 0, -2, 1], [4, -2, 4, 0], [-2, 1, 0, 3]],
+            dtype=np.float64,
+        ).reshape(1, 4, 4, 1)
+        ws = lower_input(spec, x).matrix
+        expected = np.array(
+            [
+                [3, 1, 4, 1, 0, -2, 4, -2, 4],
+                [1, 4, -2, 0, -2, 1, -2, 4, 0],
+                [1, 0, -2, 4, -2, 4, -2, 1, 0],
+                [0, -2, 1, -2, 4, 0, 1, 0, 3],
+            ],
+            dtype=np.float64,
+        )
+        np.testing.assert_array_equal(ws, expected)
+
+    def test_row_is_flattened_receptive_field(self, tiny_spec, rng):
+        x = random_input(tiny_spec, rng)
+        ws = lower_input(tiny_spec, x).matrix
+        # Output pixel (2, 3): receptive field rows 1..3, cols 2..4.
+        row = 2 * 8 + 3
+        field = np.zeros((3, 3, 4))
+        padded = np.pad(x[0], ((1, 1), (1, 1), (0, 0)))
+        field = padded[2 : 2 + 3, 3 : 3 + 3, :]
+        np.testing.assert_allclose(ws[row], field.reshape(-1))
+
+    def test_padding_materialised_as_zero(self, tiny_spec, rng):
+        x = random_input(tiny_spec, rng)
+        ws = lower_input(tiny_spec, x).matrix
+        # Output pixel (0, 0), filter tap (0, 0) reads padding.
+        assert ws[0, 0] == 0.0
+
+    def test_shape_validation(self, tiny_spec, rng):
+        with pytest.raises(ValueError, match="shape"):
+            lower_input(tiny_spec, rng.standard_normal((1, 9, 8, 4)))
+
+    def test_strided(self, strided_spec, rng):
+        x = random_input(strided_spec, rng)
+        ws = lower_input(strided_spec, x).matrix
+        assert ws.shape == workspace_shape(strided_spec)
+        # Row 1 = output (0, 1) -> input cols 2..4 (stride 2, no pad).
+        np.testing.assert_allclose(
+            ws[1].reshape(3, 3, 4), x[0, 0:3, 2:5, :]
+        )
+
+    def test_transposed_uses_upsampled_input(self, transposed_spec, rng):
+        x = random_input(transposed_spec, rng)
+        ws = lower_input(transposed_spec, x).matrix
+        assert ws.shape == workspace_shape(transposed_spec)
+        up = upsample_zero_insert(x, 2, 1)
+        # At least the upsampled zeros appear in the workspace.
+        assert (ws == 0).sum() > 0
+        assert up.shape[1] == 8
+
+
+class TestUpsample:
+    def test_identity_for_unit_stride(self, rng):
+        x = rng.standard_normal((1, 4, 4, 2))
+        assert upsample_zero_insert(x, 1, 0) is x
+
+    def test_zero_insertion_pattern(self, rng):
+        x = rng.standard_normal((1, 3, 3, 1))
+        up = upsample_zero_insert(x, 2, 0)
+        assert up.shape == (1, 5, 5, 1)
+        np.testing.assert_allclose(up[:, ::2, ::2, :], x)
+        assert up[0, 1, :, 0].sum() == 0.0
+
+    def test_output_pad_appends_zero_border(self, rng):
+        x = rng.standard_normal((1, 3, 3, 1))
+        up = upsample_zero_insert(x, 2, 1)
+        assert up.shape == (1, 6, 6, 1)
+        assert np.all(up[0, -1, :, 0] == 0)
+        assert np.all(up[0, :, -1, 0] == 0)
+
+    def test_rejects_non_nhwc(self, rng):
+        with pytest.raises(ValueError, match="NHWC"):
+            upsample_zero_insert(rng.standard_normal((3, 3)), 2)
+
+
+class TestInverseMap:
+    def test_equal_ids_iff_equal_values(self, tiny_spec, rng):
+        """The load-bearing invariant behind the whole paper."""
+        x = random_input(tiny_spec, rng)  # continuous -> a.s. distinct
+        ws = lower_input(tiny_spec, x).matrix
+        rows, cols = ws.shape
+        rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+        batch, element = entries_to_padded_flat(
+            tiny_spec, rr.ravel(), cc.ravel()
+        )
+        values = ws.ravel()
+        by_id = {}
+        for b, e, v in zip(batch, element, values):
+            key = (int(b), int(e))
+            if key in by_id:
+                assert by_id[key] == v, f"id {key} maps to distinct values"
+            else:
+                by_id[key] = v
+        # And unique ID count matches the analytic formula.
+        assert len(by_id) == unique_element_count(tiny_spec)
+
+    def test_scalar_map_matches_vectorised(self, strided_spec):
+        rows, cols = workspace_shape(strided_spec)
+        eff = strided_spec.effective_spec()
+        padded_w = eff.in_width + 2 * eff.pad
+        for row, col in [(0, 0), (3, 7), (rows - 1, cols - 1)]:
+            coord = workspace_entry_to_input_coord(strided_spec, row, col)
+            batch, element = entries_to_padded_flat(
+                strided_spec, np.array([row]), np.array([col])
+            )
+            py = coord.iy + eff.pad
+            px = coord.ix + eff.pad
+            expected = (py * padded_w + px) * eff.in_channels + coord.ch
+            assert element[0] == expected
+            assert batch[0] == coord.n
+
+    def test_out_of_range_entry_rejected(self, tiny_spec):
+        rows, cols = workspace_shape(tiny_spec)
+        with pytest.raises(IndexError):
+            workspace_entry_to_input_coord(tiny_spec, rows, 0)
+
+    def test_padding_flag(self, tiny_spec):
+        coord = workspace_entry_to_input_coord(tiny_spec, 0, 0)
+        assert coord.is_padding
+        assert coord.iy == -1 and coord.ix == -1
+
+    def test_batch_id_separates_images(self, multibatch_spec):
+        rows, cols = workspace_shape(multibatch_spec)
+        out = multibatch_spec.output_shape
+        per_image = out.pixels
+        batch, element = entries_to_padded_flat(
+            multibatch_spec,
+            np.array([0, per_image, 2 * per_image]),
+            np.array([0, 0, 0]),
+        )
+        assert list(batch) == [0, 1, 2]
+        assert element[0] == element[1] == element[2]
+
+    def test_merge_padding_collapses_padding_ids(self, tiny_spec):
+        rows, cols = workspace_shape(tiny_spec)
+        rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+        _, element = entries_to_padded_flat(
+            tiny_spec, rr.ravel(), cc.ravel(), merge_padding=True
+        )
+        assert (element == MERGED_PADDING_ID).sum() > 0
+        assert len(np.unique(element)) == unique_element_count(
+            tiny_spec, merge_padding=True
+        )
+
+
+class TestUniqueElementCount:
+    def test_no_padding_full_coverage(self):
+        spec = make_spec(h=6, w=6, c=3, pad=0)
+        # Every input element is touched; no padding IDs.
+        assert unique_element_count(spec) == 6 * 6 * 3
+
+    def test_with_padding_counts_touched_ring(self, tiny_spec):
+        # pad=1, 3x3, stride 1: reach = H+2p in both axes.
+        assert unique_element_count(tiny_spec) == 10 * 10 * 4
+
+    def test_merge_padding_single_id(self, tiny_spec):
+        assert (
+            unique_element_count(tiny_spec, merge_padding=True)
+            == 8 * 8 * 4 + 1
+        )
+
+    def test_stride_skips_edges(self):
+        spec = make_spec(h=9, w=9, pad=0, stride=2, c=2)
+        # reach = (out-1)*2 + 3 = 9 -> all rows/cols touched.
+        assert unique_element_count(spec) == 9 * 9 * 2
+
+
+class TestCol2Im:
+    def test_adjoint_of_lowering(self, tiny_spec, rng):
+        """<lower(x), W> == <x, col2im(W)> for all W (adjoint test)."""
+        x = random_input(tiny_spec, rng)
+        ws = lower_input(tiny_spec, x).matrix
+        w = rng.standard_normal(ws.shape)
+        lhs = float((ws * w).sum())
+        rhs = float((x * col2im(tiny_spec, w)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_counts_multiplicity(self):
+        spec = make_spec(h=4, w=4, c=1, filters=1, pad=0)
+        ones = np.ones(workspace_shape(spec))
+        back = col2im(spec, ones)
+        # Centre elements appear in 4 receptive fields; corners in 1.
+        assert back[0, 0, 0, 0] == 1
+        assert back[0, 1, 1, 0] == 4
+
+    def test_shape_validation(self, tiny_spec):
+        with pytest.raises(ValueError, match="workspace"):
+            col2im(tiny_spec, np.zeros((3, 3)))
+
+    def test_accumulate_in_place(self, tiny_spec, rng):
+        ws = np.ones(workspace_shape(tiny_spec))
+        acc = np.ones(tiny_spec.input_nhwc)
+        out = col2im(tiny_spec, ws, accumulate=acc)
+        assert out is acc
+        assert out.min() >= 1.0

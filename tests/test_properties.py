@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the load-bearing guarantees the reproduction rests on,
+checked over randomly drawn convolution geometries and access streams:
+
+1. the canonical ID map groups workspace entries exactly by value;
+2. im2col / col2im are adjoint linear maps;
+3. GEMM convolution equals direct convolution for any geometry;
+4. the LRU cache matches a brute-force reference model;
+5. an unbounded, non-expiring LHB hits exactly when the tag was seen.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conv.direct import direct_convolution
+from repro.conv.gemm import gemm_convolution
+from repro.conv.lowering import (
+    col2im,
+    entries_to_padded_flat,
+    lower_input,
+    unique_element_count,
+    workspace_shape,
+)
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.cache import SetAssociativeCache
+
+from tests.conftest import make_spec
+
+
+@st.composite
+def conv_specs(draw):
+    """Random small-but-varied convolution geometries."""
+    kh = draw(st.sampled_from([1, 3, 5]))
+    kw = draw(st.sampled_from([1, 3, 5]))
+    stride = draw(st.sampled_from([1, 2]))
+    pad = draw(st.integers(0, 2))
+    transposed = draw(st.booleans()) and stride > 1
+    h = draw(st.integers(max(kh, 4), 10))
+    w = draw(st.integers(max(kw, 4), 10))
+    spec = make_spec(
+        batch=draw(st.integers(1, 2)),
+        h=h,
+        w=w,
+        c=draw(st.sampled_from([1, 2, 3, 4])),
+        filters=draw(st.sampled_from([1, 2, 4])),
+        kh=kh,
+        kw=kw,
+        pad=pad,
+        stride=stride,
+        transposed=transposed,
+        output_pad=1 if transposed else 0,
+    )
+    eff = spec.effective_spec()
+    out = eff.output_shape
+    if out.height < 1 or out.width < 1:
+        raise AssertionError("strategy produced empty output")
+    return spec
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=conv_specs(), seed=st.integers(0, 2**32 - 1))
+def test_canonical_ids_group_exactly_by_value(spec, seed):
+    """Equal (batch, element) ID <=> equal workspace value.
+
+    Continuous random inputs make distinct positions distinct with
+    probability one, so the grouping must be exact in both directions
+    (except the zero padding positions, which strict positional IDs
+    keep apart even though they are value-equal).
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(spec.input_nhwc)
+    ws = lower_input(spec, x).matrix
+    rows, cols = ws.shape
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    batch, element = entries_to_padded_flat(spec, rr.ravel(), cc.ravel())
+    values = ws.ravel()
+    seen = {}
+    for b, e, v in zip(batch.tolist(), element.tolist(), values):
+        assert seen.setdefault((b, e), v) == v
+    # Reverse direction: distinct non-zero values -> distinct IDs.
+    nonzero = values != 0.0
+    ids_of = {}
+    for b, e, v in zip(
+        batch[nonzero].tolist(), element[nonzero].tolist(), values[nonzero]
+    ):
+        ids_of.setdefault(v, set()).add((b, e))
+    assert all(len(s) == 1 for s in ids_of.values())
+    assert len(seen) == unique_element_count(spec)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=conv_specs(), seed=st.integers(0, 2**32 - 1))
+def test_lowering_adjoint(spec, seed):
+    """<lower(x), W> == <x_eff, col2im(W)> for random x and W."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(spec.input_nhwc)
+    ws = lower_input(spec, x).matrix
+    w = rng.standard_normal(ws.shape)
+    lhs = float((ws * w).sum())
+    eff = spec.effective_spec()
+    from repro.conv.lowering import upsample_zero_insert
+
+    x_eff = (
+        upsample_zero_insert(x, spec.stride, spec.output_pad)
+        if spec.transposed
+        else x
+    )
+    rhs = float((x_eff * col2im(spec, w)).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=conv_specs(), seed=st.integers(0, 2**32 - 1))
+def test_gemm_equals_direct(spec, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(spec.input_nhwc)
+    f = rng.standard_normal(spec.filter_nhwc)
+    np.testing.assert_allclose(
+        gemm_convolution(spec, x, f),
+        direct_convolution(spec, x, f),
+        rtol=1e-8,
+        atol=1e-8,
+    )
+
+
+class _ReferenceLRU:
+    """Brute-force per-set LRU list, the oracle for the cache model."""
+
+    def __init__(self, num_sets, assoc):
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets = {i: [] for i in range(num_sets)}
+
+    def access(self, line):
+        ways = self.sets[line % self.num_sets]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            return True
+        if len(ways) >= self.assoc:
+            ways.pop(0)
+        ways.append(line)
+        return False
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    assoc=st.sampled_from([1, 2, 4]),
+    sets=st.sampled_from([2, 4, 8]),
+    stream=st.lists(st.integers(0, 63), min_size=1, max_size=300),
+)
+def test_cache_matches_reference_lru(assoc, sets, stream):
+    cache = SetAssociativeCache(sets * assoc * 128, assoc, 128)
+    assert cache.num_sets == sets
+    ref = _ReferenceLRU(sets, assoc)
+    for line in stream:
+        assert cache.access(line) == ref.access(line)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    stream=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 2)), min_size=1, max_size=300
+    )
+)
+def test_oracle_lhb_hits_iff_tag_seen(stream):
+    lhb = LoadHistoryBuffer(num_entries=None, lifetime=None)
+    seen = set()
+    for element, batch in stream:
+        hit = lhb.access(element, batch, 0).hit
+        assert hit == ((element, batch) in seen)
+        seen.add((element, batch))
+    assert lhb.stats.compulsory_misses == len(seen)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    entries=st.sampled_from([4, 8, 16]),
+    lifetime=st.one_of(st.none(), st.integers(1, 50)),
+    stream=st.lists(st.integers(0, 40), min_size=1, max_size=200),
+)
+def test_finite_lhb_hits_are_sound(entries, lifetime, stream):
+    """A finite/expiring LHB may miss duplicates but must never hit a
+    tag that was not previously accessed (no false positives)."""
+    lhb = LoadHistoryBuffer(num_entries=entries, lifetime=lifetime)
+    seen = set()
+    for element in stream:
+        hit = lhb.access(element, 0, 0).hit
+        if hit:
+            assert element in seen
+        seen.add(element)

@@ -1,0 +1,109 @@
+"""Warp register renaming and the physical register pool."""
+
+import pytest
+
+from repro.core.renaming import PhysicalRegisterFile, RegisterRenamingTable
+
+
+class TestPhysicalRegisterFile:
+    def test_allocate_unique(self):
+        pool = PhysicalRegisterFile(8)
+        regs = {pool.allocate() for _ in range(8)}
+        assert len(regs) == 8
+
+    def test_exhaustion(self):
+        pool = PhysicalRegisterFile(2)
+        pool.allocate()
+        pool.allocate()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            pool.allocate()
+
+    def test_release_recycles(self):
+        pool = PhysicalRegisterFile(1)
+        reg = pool.allocate()
+        pool.release(reg)
+        assert pool.allocate() == reg
+
+    def test_share_and_refcount(self):
+        pool = PhysicalRegisterFile(4)
+        reg = pool.allocate()
+        pool.share(reg)
+        assert pool.refcount(reg) == 2
+        pool.release(reg)
+        assert pool.refcount(reg) == 1
+        pool.release(reg)
+        assert pool.refcount(reg) == 0
+        assert pool.allocated == 0
+
+    def test_share_unallocated_rejected(self):
+        pool = PhysicalRegisterFile(4)
+        with pytest.raises(KeyError):
+            pool.share(0)
+
+    def test_release_unallocated_rejected(self):
+        with pytest.raises(KeyError):
+            PhysicalRegisterFile(4).release(0)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalRegisterFile(0)
+
+
+class TestRenamingTable:
+    def test_define_maps(self):
+        table = RegisterRenamingTable()
+        phys = table.define(warp=0, arch_reg=4)
+        assert table.lookup(0, 4) == phys
+
+    def test_redefine_releases_old(self):
+        table = RegisterRenamingTable(PhysicalRegisterFile(2))
+        table.define(0, 4)
+        table.define(0, 4)
+        table.define(0, 4)  # would exhaust a 2-register pool otherwise
+        assert table.regfile.allocated == 1
+
+    def test_alias_shares_register(self):
+        table = RegisterRenamingTable()
+        holder = table.define(0, 4)
+        aliased = table.alias(warp=1, arch_reg=3, phys=holder)
+        assert aliased == holder
+        assert table.lookup(1, 3) == holder
+        assert table.regfile.refcount(holder) == 2
+
+    def test_alias_cross_warp_is_duplo_semantics(self):
+        """Duplo renames warp B's register onto warp A's value."""
+        table = RegisterRenamingTable()
+        a = table.define(0, 8)
+        table.alias(1, 8, a)
+        table.retire(0, 8)  # A's mapping dies ...
+        assert table.regfile.refcount(a) == 1  # ... B still holds it
+        assert table.lookup(1, 8) == a
+
+    def test_retire_releases(self):
+        table = RegisterRenamingTable()
+        phys = table.define(0, 1)
+        table.retire(0, 1)
+        assert table.lookup(0, 1) is None
+        assert table.regfile.refcount(phys) == 0
+
+    def test_retire_unknown_is_noop(self):
+        RegisterRenamingTable().retire(0, 99)
+
+    def test_stats(self):
+        table = RegisterRenamingTable()
+        a = table.define(0, 1)
+        table.alias(0, 2, a)
+        table.retire(0, 2)
+        assert table.stats.allocations == 1
+        assert table.stats.reuse_renames == 1
+        assert table.stats.releases == 1
+
+    def test_mapping_count(self):
+        table = RegisterRenamingTable()
+        table.define(0, 1)
+        table.define(1, 1)
+        assert table.mapping_count() == 2
+
+    def test_default_pool_matches_table_iii(self):
+        # 256 KB register file / (32 threads x 4 bytes) = 2048.
+        assert RegisterRenamingTable().regfile.num_registers == 2048

@@ -1,0 +1,52 @@
+"""GTO scheduling order."""
+
+import pytest
+
+from repro.gpu.scheduler import Turn, gto_turns, waves
+
+
+class TestGtoTurns:
+    def test_single_warp_single_step(self):
+        turns = list(gto_turns(1, 1, 1, runahead=4))
+        assert turns == [Turn(cta_index=0, warp=0, k_start=0, k_end=1)]
+
+    def test_runahead_spans(self):
+        turns = list(gto_turns(1, 1, k_steps=10, runahead=4))
+        assert [(t.k_start, t.k_end) for t in turns] == [(0, 4), (4, 8), (8, 10)]
+
+    def test_oldest_cta_first_within_round(self):
+        turns = list(gto_turns(2, 2, k_steps=2, runahead=2))
+        order = [(t.cta_index, t.warp) for t in turns]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_every_warp_covers_every_kstep(self):
+        turns = list(gto_turns(3, 4, k_steps=7, runahead=3))
+        covered = {}
+        for t in turns:
+            key = (t.cta_index, t.warp)
+            covered.setdefault(key, set()).update(range(t.k_start, t.k_end))
+        assert all(v == set(range(7)) for v in covered.values())
+        assert len(covered) == 12
+
+    def test_zero_ksteps_yields_nothing(self):
+        assert list(gto_turns(1, 1, 0, 1)) == []
+
+    @pytest.mark.parametrize(
+        "args", [(0, 1, 1, 1), (1, 0, 1, 1), (1, 1, -1, 1), (1, 1, 1, 0)]
+    )
+    def test_validation(self, args):
+        with pytest.raises(ValueError):
+            list(gto_turns(*args))
+
+
+class TestWaves:
+    def test_splits_in_order(self):
+        assert [list(w) for w in waves([1, 2, 3, 4, 5], 2)] == [
+            [1, 2],
+            [3, 4],
+            [5],
+        ]
+
+    def test_concurrency_validation(self):
+        with pytest.raises(ValueError):
+            list(waves([1], 0))

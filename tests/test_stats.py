@@ -1,0 +1,96 @@
+"""Statistics containers: breakdowns, rates, scaling, gmean."""
+
+import math
+
+import pytest
+
+from repro.gpu.stats import LayerStats, MemoryBreakdown, geometric_mean
+
+
+class TestMemoryBreakdown:
+    def test_total_and_fractions(self):
+        b = MemoryBreakdown(lhb=10, l1=60, l2=20, dram=10)
+        assert b.total == 100
+        f = b.fractions()
+        assert f["l1"] == 0.6
+        assert sum(f.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert MemoryBreakdown().fractions() == {
+            "lhb": 0.0,
+            "l1": 0.0,
+            "l2": 0.0,
+            "dram": 0.0,
+            "shared": 0.0,
+        }
+
+    def test_scaled(self):
+        b = MemoryBreakdown(lhb=1, l1=2, l2=3, dram=4).scaled(2.0)
+        assert (b.lhb, b.l1, b.l2, b.dram) == (2, 4, 6, 8)
+
+
+class TestLayerStats:
+    def test_rates(self):
+        s = LayerStats(
+            loads_total=100,
+            loads_workspace=60,
+            lhb_lookups=60,
+            lhb_hits=30,
+            eliminated_fragments=30,
+            workspace_instructions=60,
+            unique_workspace_ids=20,
+            l1_accesses=50,
+            l1_hits=40,
+            l2_accesses=10,
+            l2_hits=5,
+        )
+        assert s.lhb_hit_rate == 0.5
+        assert s.elimination_rate == 0.3
+        assert s.theoretical_hit_limit == pytest.approx(1 - 20 / 60)
+        assert s.l1_hit_rate == 0.8
+        assert s.l2_hit_rate == 0.5
+        assert s.eliminated_loads == 30
+
+    def test_zero_denominators(self):
+        s = LayerStats()
+        assert s.lhb_hit_rate == 0.0
+        assert s.elimination_rate == 0.0
+        assert s.theoretical_hit_limit == 0.0
+        assert s.l1_hit_rate == 0.0
+
+    def test_scaled_multiplies_counts(self):
+        s = LayerStats(loads_total=10, lhb_hits=4, dram_read_bytes=128)
+        t = s.scaled(2.5)
+        assert t.loads_total == 25
+        assert t.lhb_hits == 10
+        assert t.dram_read_bytes == 320
+
+    def test_scaled_preserves_rates(self):
+        s = LayerStats(
+            loads_total=100, lhb_lookups=50, lhb_hits=25,
+            workspace_instructions=50, unique_workspace_ids=10,
+        )
+        t = s.scaled(3.0)
+        assert t.lhb_hit_rate == s.lhb_hit_rate
+        assert t.theoretical_hit_limit == s.theoretical_hit_limit
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_matches_log_definition(self):
+        vals = [1.1, 1.25, 1.4, 0.9]
+        expected = math.exp(sum(math.log(v) for v in vals) / 4)
+        assert geometric_mean(vals) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

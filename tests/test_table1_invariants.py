@@ -1,0 +1,59 @@
+"""Simulator invariants over every Table I layer (capped traces).
+
+A breadth sweep: each of the 22 paper layers, simulated with a
+one-CTA trace cap, must satisfy the model's conservation and ordering
+invariants.  Catches geometry-specific regressions (partial tiles,
+transposed upsampling, huge K, tiny N) that the synthetic-layer unit
+tests can miss.
+"""
+
+import pytest
+
+from repro.conv.workloads import ALL_LAYERS
+from repro.gpu.config import SimulationOptions
+from repro.gpu.simulator import EliminationMode, simulate_pair
+
+OPTIONS = SimulationOptions(max_ctas=1)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for spec in ALL_LAYERS:
+        out[spec.qualified_name] = simulate_pair(spec, options=OPTIONS)
+    return out
+
+
+@pytest.mark.parametrize("layer", [s.qualified_name for s in ALL_LAYERS])
+class TestPerLayerInvariants:
+    def test_duplo_never_slower(self, results, layer):
+        base, duplo = results[layer]
+        assert duplo.cycles <= base.cycles + 1e-6
+
+    def test_service_breakdown_partitions_loads(self, results, layer):
+        for r in results[layer]:
+            assert r.stats.breakdown.total == r.stats.loads_total
+
+    def test_hits_within_theory(self, results, layer):
+        _, duplo = results[layer]
+        s = duplo.stats
+        assert s.lhb_hits <= s.lhb_lookups
+        assert s.lhb_hit_rate <= s.theoretical_hit_limit + 1e-9
+
+    def test_traffic_ordering(self, results, layer):
+        base, duplo = results[layer]
+        assert duplo.stats.l1_accesses <= base.stats.l1_accesses
+        assert duplo.stats.dram_read_bytes <= base.stats.dram_read_bytes
+        assert duplo.stats.dram_write_bytes == base.stats.dram_write_bytes
+
+    def test_same_compute_both_configs(self, results, layer):
+        base, duplo = results[layer]
+        assert base.stats.mma_ops == duplo.stats.mma_ops
+        assert base.stats.loads_total == duplo.stats.loads_total
+
+    def test_octet_floor_on_hits(self, results, layer):
+        """The dual octet copies alone guarantee a hit-rate floor of
+        ~50% for any unbounded window; even the finite default LHB
+        catches a solid share on every layer."""
+        _, duplo = results[layer]
+        assert duplo.stats.lhb_hit_rate > 0.25

@@ -1,0 +1,133 @@
+"""Property-based invariants of trace generation and replay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.config import GPUConfig, KernelConfig, SimulationOptions
+from repro.gpu.isa import (
+    LOAD_A,
+    LOAD_B,
+    STORE_D,
+    OUTPUT_BASE,
+    WORKSPACE_BASE,
+)
+from repro.gpu.kernel import gemm_geometry, generate_sm_trace
+from repro.gpu.ldst import EliminationMode, replay_trace
+from repro.core.lhb import LoadHistoryBuffer
+
+from tests.conftest import make_spec
+
+GPU = GPUConfig(num_sms=1)
+
+
+@st.composite
+def small_specs(draw):
+    c = draw(st.sampled_from([4, 8, 16]))
+    stride = draw(st.sampled_from([1, 2]))
+    h = draw(st.integers(6, 12))
+    return make_spec(
+        batch=draw(st.integers(1, 2)),
+        h=h,
+        w=h,
+        c=c,
+        filters=draw(st.sampled_from([8, 16])),
+        pad=draw(st.integers(0, 1)),
+        stride=stride,
+    )
+
+
+@st.composite
+def kernels(draw):
+    return KernelConfig(
+        warp_runahead=draw(st.sampled_from([1, 4, 16])),
+        cta_tile_m=draw(st.sampled_from([64, 128])),
+        cta_tile_n=64,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=small_specs(), kernel=kernels())
+def test_store_coverage(spec, kernel):
+    """Every valid 16-row x 16-col D tile is stored exactly once, and
+    store addresses never collide."""
+    trace = generate_sm_trace(spec, GPU, kernel, SimulationOptions())
+    geom = gemm_geometry(spec)
+    stores = trace.address[trace.kind == STORE_D]
+    assert len(np.unique(stores)) == len(stores)
+    m_tiles = -(-geom.m // 16)
+    n_tiles = -(-geom.n // 16)
+    assert len(stores) == m_tiles * 16 * n_tiles  # 16 rows per tile
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=small_specs(), kernel=kernels())
+def test_a_loads_touch_only_valid_tiles(spec, kernel):
+    trace = generate_sm_trace(spec, GPU, kernel, SimulationOptions())
+    geom = gemm_geometry(spec)
+    a = trace.address[trace.kind == LOAD_A]
+    offs = (a - WORKSPACE_BASE) // 2
+    rows = offs // geom.lda
+    cols = offs % geom.lda
+    assert rows.min() >= 0 and rows.max() < geom.m_pad
+    assert cols.min() >= 0 and cols.max() < geom.k_pad
+    # Fragment bases are k-step aligned.
+    assert (cols % 16 == 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=small_specs(), kernel=kernels())
+def test_every_kstep_covered_per_tile_row(spec, kernel):
+    """Each valid 16-row block loads every k-step at least once
+    (no k-column of the workspace is skipped)."""
+    trace = generate_sm_trace(spec, GPU, kernel, SimulationOptions())
+    geom = gemm_geometry(spec)
+    a = trace.address[trace.kind == LOAD_A]
+    offs = (a - WORKSPACE_BASE) // 2
+    blocks = (offs // geom.lda) // 16
+    ksteps = (offs % geom.lda) // 16
+    seen = set(zip(blocks.tolist(), ksteps.tolist()))
+    for blk in range(-(-geom.m // 16)):
+        for t in range(geom.k_steps):
+            assert (blk, t) in seen
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    spec=small_specs(),
+    entries=st.sampled_from([64, 256, None]),
+    granularity=st.sampled_from(["fragment", "instruction"]),
+)
+def test_replay_conservation(spec, entries, granularity):
+    """Service breakdown always partitions the loads; elimination
+    never exceeds the theoretical duplicate count."""
+    kernel = KernelConfig(warp_runahead=4)
+    options = SimulationOptions(lhb_granularity=granularity)
+    trace = generate_sm_trace(spec, GPU, kernel, options)
+    lhb = LoadHistoryBuffer(num_entries=entries, lifetime=None)
+    stats = replay_trace(trace, spec, GPU, options, EliminationMode.DUPLO, lhb)
+    assert stats.breakdown.total == stats.loads_total
+    assert stats.lhb_hits <= stats.lhb_lookups
+    assert stats.eliminated_fragments <= stats.loads_workspace
+    assert stats.unique_workspace_ids <= stats.workspace_instructions
+    # Oracle bound: hits can never beat total-minus-unique.
+    assert stats.lhb_hits <= (
+        stats.workspace_instructions - stats.unique_workspace_ids
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=small_specs())
+def test_baseline_vs_duplo_traffic_ordering(spec):
+    """Elimination can only reduce each memory level's traffic."""
+    kernel = KernelConfig(warp_runahead=4)
+    options = SimulationOptions()
+    trace = generate_sm_trace(spec, GPU, kernel, options)
+    base = replay_trace(
+        trace, spec, GPU, options, EliminationMode.BASELINE, None
+    )
+    lhb = LoadHistoryBuffer(num_entries=None, lifetime=None)
+    duplo = replay_trace(trace, spec, GPU, options, EliminationMode.DUPLO, lhb)
+    assert duplo.l1_accesses <= base.l1_accesses
+    assert duplo.dram_read_bytes <= base.dram_read_bytes
+    assert duplo.dram_write_bytes == base.dram_write_bytes  # stores equal

@@ -1,0 +1,119 @@
+"""ID-scheme verification: where the Section III formulas hold.
+
+The headline characterisation this reproduction established:
+
+* the published closed-form IDs are **exact** (sound and complete) on
+  padding-free layers — any stride, channel count, or batch size;
+* they are **unsound under zero padding**: the pure index arithmetic
+  assigns padding positions IDs that collide with interior elements,
+  so a hardware deployment must either exclude padded workspace
+  regions from detection or use the canonical (inverse-map) IDs;
+* STRICT mode is sound everywhere but incomplete by construction.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.table2 import TOY_SPEC
+from repro.core.idgen import IDMode
+from repro.core.verification import verify_id_scheme, verify_table
+from repro.conv.workloads import ALL_LAYERS
+
+from tests.conftest import make_spec
+
+
+class TestCanonicalIsAlwaysExact:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(),
+            dict(pad=0),
+            dict(h=9, w=9, pad=0, stride=2),
+            dict(batch=2, h=6, w=6, c=3),
+            dict(h=4, w=4, c=8, kh=5, kw=5, pad=2, stride=2,
+                 transposed=True, output_pad=1),
+        ],
+    )
+    def test_exact(self, kwargs):
+        report = verify_id_scheme(make_spec(**kwargs), IDMode.CANONICAL)
+        assert report.exact
+        assert report.scheme_classes == report.canonical_classes
+
+
+class TestPaperFormulas:
+    def test_exact_on_figure6(self):
+        assert verify_id_scheme(TOY_SPEC, IDMode.PAPER).exact
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(pad=0),
+            dict(h=9, w=9, pad=0, stride=2),
+            dict(h=6, w=6, c=3, pad=0),
+            dict(batch=3, h=6, w=6, c=2, pad=0),
+            dict(h=8, w=8, c=4, kh=5, kw=5, pad=0),
+        ],
+    )
+    def test_exact_without_padding(self, kwargs):
+        assert verify_id_scheme(make_spec(**kwargs), IDMode.PAPER).exact
+
+    def test_unsound_with_padding(self):
+        """The published arithmetic ignores the padding ring: padding
+        zeros alias interior elements — a correctness hazard the
+        canonical IDs avoid."""
+        report = verify_id_scheme(make_spec(pad=1), IDMode.PAPER)
+        assert not report.sound
+        assert report.unsound_merges > 0
+
+    def test_padded_table1_layers_are_unsound(self):
+        reports = verify_table(
+            [spec.with_batch(1) for spec in ALL_LAYERS[:2]], IDMode.PAPER
+        )
+        # ResNet C1 and C2 are both padded.
+        assert all(not r.sound for r in reports.values())
+
+    def test_unpadded_table1_layer_is_sound(self):
+        spec = next(
+            layer for layer in ALL_LAYERS
+            if layer.pad == 0 and not layer.transposed
+        )
+        assert verify_id_scheme(spec.with_batch(1), IDMode.PAPER).sound
+
+
+class TestStrictMode:
+    def test_sound_everywhere(self):
+        for kwargs in [dict(), dict(pad=0), dict(h=9, w=9, pad=0, stride=2)]:
+            report = verify_id_scheme(make_spec(**kwargs), IDMode.STRICT)
+            assert report.sound
+
+    def test_incomplete_by_construction(self):
+        """STRICT splits canonical classes by output-column phase, so
+        it misses duplicate pairs whenever duplication exists."""
+        report = verify_id_scheme(make_spec(pad=0), IDMode.STRICT)
+        assert report.missed_pairs > 0
+        assert report.scheme_classes > report.canonical_classes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    h=st.integers(4, 9),
+    c=st.sampled_from([1, 2, 4]),
+    stride=st.sampled_from([1, 2]),
+    batch=st.integers(1, 2),
+)
+def test_paper_formulas_exact_on_square_unpadded_property(h, c, stride, batch):
+    """Property: on *square*, *unpadded* geometry — the regime every
+    Table I layer lives in — the published formulas are exact for any
+    stride, channel count, and batch size."""
+    spec = make_spec(batch=batch, h=h, w=h, c=c, pad=0, stride=stride)
+    report = verify_id_scheme(spec, IDMode.PAPER)
+    assert report.exact, report
+
+
+def test_paper_formulas_break_on_non_square_output():
+    """The published formulas index patches by ``row / output_height``
+    where the row-major workspace needs ``row / output_width`` —
+    harmless for the paper's all-square layers, wrong beyond them."""
+    spec = make_spec(h=4, w=5, c=1, pad=0)
+    assert spec.output_shape.height != spec.output_shape.width
+    assert not verify_id_scheme(spec, IDMode.PAPER).exact

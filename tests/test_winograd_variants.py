@@ -1,0 +1,104 @@
+"""Winograd variants: F(2x2,3x3) vs F(4x4,3x3)."""
+
+import numpy as np
+import pytest
+
+from repro.conv.direct import direct_convolution
+from repro.conv.winograd import (
+    DEFAULT_VARIANT,
+    F_2X2_3X3,
+    F_4X4_3X3,
+    WinogradVariant,
+    transform_filters,
+    winograd_convolution,
+    winograd_mac_count,
+    winograd_workspace_bytes,
+)
+
+from tests.conftest import make_spec
+
+
+@pytest.mark.parametrize("variant", [F_2X2_3X3, F_4X4_3X3])
+class TestVariantCorrectness:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(),
+            dict(pad=0),
+            dict(h=7, w=11, pad=1),
+            dict(batch=2, h=6, w=6, c=2, filters=3),
+        ],
+    )
+    def test_matches_direct(self, rng, variant, kwargs):
+        spec = make_spec(**kwargs)
+        x = rng.standard_normal(spec.input_nhwc)
+        f = rng.standard_normal(spec.filter_nhwc)
+        np.testing.assert_allclose(
+            winograd_convolution(spec, x, f, variant),
+            direct_convolution(spec, x, f),
+            rtol=1e-8,
+            atol=1e-8,
+        )
+
+    def test_filter_transform_shape(self, rng, variant):
+        f = rng.standard_normal((5, 3, 3, 2))
+        t = variant.tile_in
+        assert transform_filters(f, variant).shape == (t, t, 2, 5)
+
+
+class TestVariantProperties:
+    def test_mac_reductions(self):
+        assert F_2X2_3X3.mac_reduction == pytest.approx(2.25)
+        assert F_4X4_3X3.mac_reduction == pytest.approx(4.0)
+
+    def test_tile_geometry(self):
+        assert F_2X2_3X3.tile_in == 4
+        assert F_4X4_3X3.tile_in == 6
+
+    def test_f44_needs_fewer_multiplications(self):
+        spec = make_spec(h=16, w=16)
+        m22 = winograd_mac_count(spec, F_2X2_3X3)
+        m44 = winograd_mac_count(spec, F_4X4_3X3)
+        assert m44 < m22
+
+    def test_f44_uses_more_transform_memory_per_tile(self):
+        # Per output element, the 6x6 transform of a 4x4 tile is
+        # cheaper than the 4x4 transform of a 2x2 tile, but per-tile
+        # buffers are larger; both directions are worth pinning down.
+        spec = make_spec(h=16, w=16)
+        w22 = winograd_workspace_bytes(spec, variant=F_2X2_3X3)
+        w44 = winograd_workspace_bytes(spec, variant=F_4X4_3X3)
+        assert w44 < w22  # fewer tiles wins at this size
+
+    def test_default_variant_is_f22(self):
+        assert DEFAULT_VARIANT is F_2X2_3X3
+
+    def test_variant_shape_validation(self):
+        with pytest.raises(ValueError, match="B\\^T"):
+            WinogradVariant(
+                name="bad",
+                tile_out=2,
+                filter_size=3,
+                bt=np.eye(3),
+                g=np.zeros((4, 3)),
+                at=np.zeros((2, 4)),
+            )
+
+    def test_transform_filter_size_validation(self, rng):
+        with pytest.raises(ValueError, match="3x3 filters"):
+            transform_filters(rng.standard_normal((1, 5, 5, 1)))
+
+    def test_algebraic_identity(self, rng):
+        """A^T [ (G g G^T) . (B^T d B) ] A == conv2d(d, g) for a
+        single tile: the defining Winograd identity."""
+        for variant in (F_2X2_3X3, F_4X4_3X3):
+            t, m = variant.tile_in, variant.tile_out
+            d = rng.standard_normal((t, t))
+            g = rng.standard_normal((3, 3))
+            u = variant.g @ g @ variant.g.T
+            v = variant.bt @ d @ variant.bt.T
+            y = variant.at @ (u * v) @ variant.at.T
+            from scipy.signal import correlate2d
+
+            ref = correlate2d(d, g, mode="valid")
+            np.testing.assert_allclose(y, ref, rtol=1e-9, atol=1e-9)

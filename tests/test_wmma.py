@@ -1,0 +1,100 @@
+"""Functional tensor-core execution (octets / threadgroups / FEDPs)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.wmma import (
+    FEDP_WIDTH,
+    OCTETS_PER_WARP,
+    WMMA,
+    fedp,
+    octet_operand_cols,
+    octet_operand_rows,
+    octet_output_quadrant,
+    operand_sharing,
+    threadgroup_block,
+    warp_mma,
+)
+
+
+def random_tiles(rng):
+    a = rng.standard_normal((16, 16))
+    b = rng.standard_normal((16, 16))
+    c = rng.standard_normal((16, 16))
+    return a, b, c
+
+
+class TestWarpMma:
+    def test_matches_numpy_gemm(self, rng):
+        a, b, c = random_tiles(rng)
+        d, _ = warp_mma(a, b, c)
+        np.testing.assert_allclose(d, a @ b + c, rtol=1e-12)
+
+    def test_zero_accumulator(self, rng):
+        a, b, _ = random_tiles(rng)
+        d, _ = warp_mma(a, b, np.zeros((16, 16)))
+        np.testing.assert_allclose(d, a @ b, rtol=1e-12)
+
+    def test_shape_validation(self, rng):
+        a, b, c = random_tiles(rng)
+        with pytest.raises(ValueError, match="A must be 16x16"):
+            warp_mma(a[:8], b, c)
+
+    def test_fedp_op_count(self, rng):
+        """16x16x16 MMA = 4096 MACs = 1024 four-element dot products."""
+        a, b, c = random_tiles(rng)
+        _, traces = warp_mma(a, b, c)
+        assert sum(t.fedp_ops for t in traces) == 1024
+        # Evenly split across the four octets.
+        assert all(t.fedp_ops == 256 for t in traces)
+
+
+class TestOctetGeometry:
+    def test_quadrants_tile_the_output(self):
+        covered = np.zeros((16, 16), dtype=int)
+        for octet in range(OCTETS_PER_WARP):
+            rows, cols = octet_output_quadrant(octet)
+            covered[rows, cols] += 1
+        assert (covered == 1).all()
+
+    def test_bad_octet_rejected(self):
+        with pytest.raises(ValueError):
+            octet_output_quadrant(4)
+
+    def test_operand_slices_match_quadrants(self):
+        for octet in range(4):
+            rows, cols = octet_output_quadrant(octet)
+            assert octet_operand_rows(octet) == rows
+            assert octet_operand_cols(octet) == cols
+
+    def test_dual_load_story(self, rng):
+        """Section II-B: each half of A and B is consumed by exactly
+        two octets — the source of the dual register copies and the
+        doubled load requests the LHB later filters."""
+        a, b, c = random_tiles(rng)
+        _, traces = warp_mma(a, b, c)
+        sharing = operand_sharing(traces)
+        assert sharing["a_half_consumers"] == 2
+        assert sharing["b_half_consumers"] == 2
+        assert sharing["distinct_a_halves"] == 2
+        assert sharing["distinct_b_halves"] == 2
+
+
+class TestBuildingBlocks:
+    def test_fedp(self):
+        assert fedp(
+            np.array([1.0, 2, 3, 4]), np.array([1.0, 1, 1, 1]), 0.5
+        ) == pytest.approx(10.5)
+
+    def test_fedp_validates_width(self):
+        with pytest.raises(ValueError):
+            fedp(np.zeros(3), np.zeros(3), 0.0)
+
+    def test_threadgroup_block_is_4x8(self, rng):
+        a_half = rng.standard_normal((8, 16))
+        b_half = rng.standard_normal((16, 8))
+        c = rng.standard_normal((4, 8))
+        block, ops = threadgroup_block(a_half, b_half, c, slice(0, 4))
+        assert block.shape == (4, 8)
+        np.testing.assert_allclose(block, a_half[:4] @ b_half + c, rtol=1e-12)
+        assert ops == 4 * 8 * (16 // FEDP_WIDTH)

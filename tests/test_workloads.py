@@ -1,0 +1,114 @@
+"""Table I transcription checks: the paper's exact layer set."""
+
+import pytest
+
+from repro.conv.workloads import (
+    ALL_LAYERS,
+    DEFAULT_BATCH,
+    GAN_LAYERS,
+    RESNET_LAYERS,
+    TABLE_I,
+    YOLO_LAYERS,
+    get_layer,
+    layers_for_network,
+    networks,
+)
+
+
+class TestTableStructure:
+    def test_layer_counts(self):
+        assert len(RESNET_LAYERS) == 8
+        assert len(GAN_LAYERS) == 8
+        assert len(YOLO_LAYERS) == 6
+        assert len(ALL_LAYERS) == 22
+
+    def test_figure_order(self):
+        assert ALL_LAYERS[:8] == RESNET_LAYERS
+        assert ALL_LAYERS[8:16] == GAN_LAYERS
+        assert ALL_LAYERS[16:] == YOLO_LAYERS
+
+    def test_all_batches_are_eight(self):
+        assert all(layer.batch == DEFAULT_BATCH for layer in ALL_LAYERS)
+
+    def test_networks_ordering(self):
+        assert tuple(networks()) == ("resnet", "gan", "yolo")
+
+    def test_unique_qualified_names(self):
+        names = [layer.qualified_name for layer in ALL_LAYERS]
+        assert len(set(names)) == len(names)
+
+
+# (input NHWC, filter KHWC, pad, stride) rows transcribed from Table I.
+RESNET_ROWS = {
+    "C1": ((8, 224, 224, 3), (64, 7, 7, 3), 3, 2),
+    "C2": ((8, 56, 56, 64), (64, 3, 3, 64), 1, 1),
+    "C3": ((8, 56, 56, 64), (128, 3, 3, 64), 0, 2),
+    "C4": ((8, 28, 28, 128), (128, 3, 3, 128), 1, 1),
+    "C5": ((8, 28, 28, 128), (256, 3, 3, 128), 0, 2),
+    "C6": ((8, 14, 14, 256), (256, 3, 3, 256), 1, 1),
+    "C7": ((8, 14, 14, 256), (512, 3, 3, 256), 0, 2),
+    "C8": ((8, 7, 7, 512), (512, 3, 3, 512), 1, 1),
+}
+GAN_ROWS = {
+    "TC1": ((8, 4, 4, 512), (256, 5, 5, 512), 2, 2),
+    "TC2": ((8, 8, 8, 256), (128, 5, 5, 256), 2, 2),
+    "TC3": ((8, 16, 16, 128), (64, 5, 5, 128), 2, 2),
+    "TC4": ((8, 32, 32, 64), (3, 5, 5, 64), 2, 2),
+    "C1": ((8, 64, 64, 3), (64, 5, 5, 3), 2, 2),
+    "C2": ((8, 32, 32, 64), (128, 5, 5, 64), 2, 2),
+    "C3": ((8, 16, 16, 128), (256, 5, 5, 128), 2, 2),
+    "C4": ((8, 8, 8, 256), (512, 5, 5, 256), 2, 2),
+}
+YOLO_ROWS = {
+    "C1": ((8, 224, 224, 3), (32, 3, 3, 3), 1, 1),
+    "C2": ((8, 112, 112, 32), (64, 3, 3, 32), 1, 1),
+    "C3": ((8, 56, 56, 64), (128, 3, 3, 64), 1, 1),
+    "C4": ((8, 28, 28, 128), (256, 3, 3, 128), 1, 1),
+    "C5": ((8, 14, 14, 256), (512, 3, 3, 256), 1, 1),
+    "C6": ((8, 7, 7, 512), (1024, 3, 3, 512), 1, 1),
+}
+
+
+@pytest.mark.parametrize(
+    "network,rows",
+    [("resnet", RESNET_ROWS), ("gan", GAN_ROWS), ("yolo", YOLO_ROWS)],
+)
+def test_table1_verbatim(network, rows):
+    for name, (input_nhwc, filter_khwc, pad, stride) in rows.items():
+        layer = get_layer(network, name)
+        assert layer.input_nhwc == input_nhwc, layer.qualified_name
+        assert layer.filter_nhwc == filter_khwc, layer.qualified_name
+        assert layer.pad == pad
+        assert layer.stride == stride
+
+
+def test_gan_tc_layers_are_transposed():
+    for layer in GAN_LAYERS:
+        assert layer.transposed == layer.name.startswith("TC")
+
+
+def test_only_gan_has_transposed_layers():
+    for network in ("resnet", "yolo"):
+        assert not any(layer.transposed for layer in TABLE_I[network])
+
+
+class TestLookups:
+    def test_get_layer(self):
+        assert get_layer("resnet", "C2").name == "C2"
+
+    def test_get_layer_unknown_layer(self):
+        with pytest.raises(KeyError, match="C9"):
+            get_layer("resnet", "C9")
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError, match="vgg"):
+            layers_for_network("vgg")
+
+    def test_layers_for_network_returns_copy(self):
+        layers = layers_for_network("yolo")
+        layers.pop()
+        assert len(layers_for_network("yolo")) == 6
+
+    def test_filter_channels_match_input(self):
+        for layer in ALL_LAYERS:
+            assert layer.filter_nhwc[3] == layer.in_channels
