@@ -17,6 +17,15 @@ from repro.gpu.simulator import clear_trace_cache
 
 FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
 
+
+def pytest_collection_modifyitems(items):
+    """Every test in benchmarks/ carries the ``bench`` marker; the
+    long-running figure/network regenerations additionally opt into
+    ``slow`` via per-file ``pytestmark`` (CI smoke runs ``-m 'not
+    slow'``)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
 #: Representative quick subset: one duplication-heavy layer per
 #: network plus one dup-free layer (same-address reuse only).
 QUICK_LAYERS = [

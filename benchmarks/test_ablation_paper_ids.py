@@ -11,6 +11,10 @@ layers, so a deployment must mask padded regions or use the exact
 inverse-map IDs (what this reproduction's simulator defaults to).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import dataclasses
 
 from repro.analysis.report import format_table

@@ -5,6 +5,10 @@ this bench extends Figure 14's per-network view to the three it names
 and checks the improvements land in the Table I band.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.analysis.report import format_table
 from repro.conv.zoo import discogan_generator, fcn_head, vgg16
 from repro.gpu.simulator import EliminationMode, simulate_layer

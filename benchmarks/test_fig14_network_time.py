@@ -5,6 +5,10 @@ Paper: Duplo reduces DNN execution time by 22.7% (inference) and 8.3%
 backward GEMMs carry no programmed workspace duplication.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.analysis.experiments import figure14
 from repro.analysis.report import format_experiment
 

@@ -1,0 +1,86 @@
+"""Runtime scaling: parallel fan-out and warm-cache rerun ratios.
+
+Runs the Figure 9 sweep over the bench subset three ways — serial
+(jobs=1, no cache), parallel (jobs=4, cold cache), and a warm-cache
+rerun — and records the wall-clock ratios to
+``results/runtime_scaling.json``.
+
+Assertions:
+
+* warm-cache rerun must be >= 10x faster than serial — this holds on
+  any machine, the warm path reads pickled results and never touches
+  the simulator;
+* parallel must be >= 2x faster than serial *when the machine can
+  express it* (>= 4 CPU cores); on smaller hosts the ratio is still
+  recorded but the speedup assertion is skipped, since fanning four
+  workers over one core cannot beat serial.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweeps import lhb_size_sweep
+from repro.gpu.simulator import clear_trace_cache
+from repro.runtime import DiskCache, SweepExecutor
+
+CORES = os.cpu_count() or 1
+PARALLEL_JOBS = 4
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_parallel_and_warm_cache_scaling(bench_layers, bench_options, tmp_path):
+    sweep = lambda executor: lhb_size_sweep(
+        bench_layers, options=bench_options, executor=executor
+    )
+
+    clear_trace_cache()
+    serial, t_serial = _timed(lambda: sweep(SweepExecutor(jobs=1)))
+
+    cache = DiskCache(tmp_path / "cache")
+    clear_trace_cache()
+    parallel, t_parallel = _timed(
+        lambda: sweep(SweepExecutor(jobs=PARALLEL_JOBS, cache=cache))
+    )
+
+    clear_trace_cache()
+    warm, t_warm = _timed(
+        lambda: sweep(SweepExecutor(jobs=PARALLEL_JOBS, cache=cache))
+    )
+
+    # The three paths must agree exactly before any ratio means much.
+    for a, b, c in zip(serial.rows, parallel.rows, warm.rows):
+        assert a.improvement == b.improvement == c.improvement
+        assert a.hit_rate == b.hit_rate == c.hit_rate
+
+    ratios = {
+        "cores": CORES,
+        "jobs": PARALLEL_JOBS,
+        "layers": len(bench_layers),
+        "serial_s": round(t_serial, 4),
+        "parallel_s": round(t_parallel, 4),
+        "warm_s": round(t_warm, 4),
+        "parallel_speedup": round(t_serial / max(t_parallel, 1e-9), 2),
+        "warm_speedup": round(t_serial / max(t_warm, 1e-9), 2),
+    }
+    out = Path("results") / "runtime_scaling.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(ratios, indent=1) + "\n")
+    print(f"\nruntime scaling: {ratios}")
+
+    assert ratios["warm_speedup"] >= 10, ratios
+    if CORES >= PARALLEL_JOBS:
+        assert ratios["parallel_speedup"] >= 2, ratios
+    else:
+        pytest.skip(
+            f"only {CORES} core(s): parallel speedup {ratios['parallel_speedup']}x "
+            f"recorded but not asserted (needs >= {PARALLEL_JOBS} cores)"
+        )

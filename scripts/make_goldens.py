@@ -1,0 +1,57 @@
+"""Regenerate the golden regression fixtures under tests/goldens/.
+
+Run from the repository root after an *intentional* model change:
+
+    PYTHONPATH=src python scripts/make_goldens.py
+
+and commit the refreshed JSON together with the change that shifted
+the numbers.  The goldens pin ``figure9`` / ``figure10`` / ``table2``
+on a fixed three-layer subset at ``max_ctas=2`` (see GOLDEN_LAYERS /
+GOLDEN_OPTIONS, mirrored in tests/test_goldens.py) so refactors that
+should be numerically neutral cannot silently shift reported results.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import experiments
+from repro.conv.workloads import get_layer
+from repro.gpu.config import SimulationOptions
+
+GOLDEN_LAYERS = [("resnet", "C2"), ("gan", "TC3"), ("yolo", "C2")]
+GOLDEN_MAX_CTAS = 2
+OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "tests", "goldens")
+
+
+def main() -> int:
+    layers = [get_layer(net, name) for net, name in GOLDEN_LAYERS]
+    options = SimulationOptions(max_ctas=GOLDEN_MAX_CTAS)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    runs = {
+        "figure9": lambda: experiments.figure9(layers, options),
+        "figure10": lambda: experiments.figure10(layers, options),
+        "table2": lambda: experiments.table2(),
+    }
+    for name, run in runs.items():
+        exp = run()
+        payload = {
+            "config": {
+                "layers": ["/".join(p) for p in GOLDEN_LAYERS],
+                "max_ctas": GOLDEN_MAX_CTAS,
+            },
+            "rows": exp.rows,
+            "summary": exp.summary,
+        }
+        path = os.path.join(OUT_DIR, f"{name}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({len(exp.rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

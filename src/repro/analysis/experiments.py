@@ -39,8 +39,37 @@ from repro.energy.model import (
     on_chip_energy_reduction,
 )
 from repro.gpu.config import BASELINE_KERNEL, KernelConfig, SimulationOptions
-from repro.gpu.simulator import EliminationMode, simulate_layer
+from repro.gpu.simulator import EliminationMode
 from repro.gpu.stats import geometric_mean
+from repro.runtime.executor import SimPoint, SweepExecutor
+
+
+def _pairs_via_executor(
+    layers: Sequence[ConvLayerSpec],
+    lhb_entries: Optional[int],
+    options: SimulationOptions,
+    kernel: KernelConfig,
+    jobs: int,
+    executor: Optional[SweepExecutor],
+):
+    """(baseline, duplo) result pairs per layer, one chunk per layer."""
+    executor = executor if executor is not None else SweepExecutor(jobs=jobs)
+    chunks = [
+        [
+            SimPoint(
+                spec, EliminationMode.BASELINE, kernel=kernel, options=options
+            ),
+            SimPoint(
+                spec,
+                EliminationMode.DUPLO,
+                lhb_entries=lhb_entries,
+                kernel=kernel,
+                options=options,
+            ),
+        ]
+        for spec in layers
+    ]
+    return executor.run_chunks(chunks)
 
 
 @dataclass
@@ -132,9 +161,13 @@ def figure9(
     layers: Optional[Sequence[ConvLayerSpec]] = None,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> Experiment:
     """Performance improvement vs. LHB size."""
-    sweep = lhb_size_sweep(_default_layers(layers), LHB_SIZES, options, kernel)
+    sweep = lhb_size_sweep(
+        _default_layers(layers), LHB_SIZES, options, kernel, jobs, executor
+    )
     rows = [
         {
             "layer": r.layer,
@@ -159,10 +192,12 @@ def figure10(
     layers: Optional[Sequence[ConvLayerSpec]] = None,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> Experiment:
     """LHB hit rate vs. size, plus the theoretical limit."""
     layers = _default_layers(layers)
-    sweep = lhb_size_sweep(layers, LHB_SIZES, options, kernel)
+    sweep = lhb_size_sweep(layers, LHB_SIZES, options, kernel, jobs, executor)
     rows = [
         {"layer": r.layer, "lhb": r.parameter, "hit_rate": r.hit_rate}
         for r in sweep.rows
@@ -194,6 +229,8 @@ def figure11(
     lhb_entries: int = 1024,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> Experiment:
     """Which component serves each load, baseline vs. Duplo."""
     layers = _default_layers(layers)
@@ -201,17 +238,10 @@ def figure11(
     dram_deltas = []
     l1_deltas = []
     l2_deltas = []
-    for spec in layers:
-        base = simulate_layer(
-            spec, EliminationMode.BASELINE, kernel=kernel, options=options
-        )
-        duplo = simulate_layer(
-            spec,
-            EliminationMode.DUPLO,
-            lhb_entries=lhb_entries,
-            kernel=kernel,
-            options=options,
-        )
+    pairs = _pairs_via_executor(
+        layers, lhb_entries, options, kernel, jobs, executor
+    )
+    for spec, (base, duplo) in zip(layers, pairs):
         rows.append(
             {
                 "layer": spec.qualified_name,
@@ -254,10 +284,13 @@ def figure12(
     layers: Optional[Sequence[ConvLayerSpec]] = None,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> Experiment:
     """Set-associative LHBs vs. the direct-mapped default."""
     sweep = associativity_sweep(
-        _default_layers(layers), LHB_ASSOCS, 1024, options, kernel
+        _default_layers(layers), LHB_ASSOCS, 1024, options, kernel, jobs,
+        executor,
     )
     rows = [
         {"layer": r.layer, "assoc": r.parameter, "improvement": r.improvement}
@@ -286,10 +319,13 @@ def figure13(
     layers: Optional[Sequence[ConvLayerSpec]] = None,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> Experiment:
     """Performance improvement across batch sizes 8/16/32."""
     sweep = batch_size_sweep(
-        _default_layers(layers), BATCH_SIZES, 1024, options, kernel
+        _default_layers(layers), BATCH_SIZES, 1024, options, kernel, jobs,
+        executor,
     )
     rows = [
         {
@@ -402,23 +438,18 @@ def energy_area(
     lhb_entries: int = 1024,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> Experiment:
     """On-chip energy reduction and detection-unit area overhead."""
     layers = _default_layers(layers)
     rows = []
     base_total: Optional[EnergyBreakdown] = None
     duplo_total: Optional[EnergyBreakdown] = None
-    for spec in layers:
-        base = simulate_layer(
-            spec, EliminationMode.BASELINE, kernel=kernel, options=options
-        )
-        duplo = simulate_layer(
-            spec,
-            EliminationMode.DUPLO,
-            lhb_entries=lhb_entries,
-            kernel=kernel,
-            options=options,
-        )
+    pairs = _pairs_via_executor(
+        layers, lhb_entries, options, kernel, jobs, executor
+    )
+    for spec, (base, duplo) in zip(layers, pairs):
         eb = DEFAULT_ENERGY.breakdown(base.stats)
         ed = DEFAULT_ENERGY.breakdown(duplo.stats)
         rows.append(

@@ -3,9 +3,14 @@
 Each sweep runs the simulator per layer per configuration point and
 returns flat row dictionaries (layer, parameter value, metric) plus
 the per-parameter geometric means the paper's "Gmean" bars show.
-Traces are shared across configuration points via the simulator's
-trace cache, so a full Figure 9 sweep costs one trace generation per
-layer.
+
+Execution routes through :class:`repro.runtime.SweepExecutor`: all
+configuration points of one layer form one chunk, so whichever worker
+owns the layer generates its trace once and replays it per point —
+the same trace-reuse the serial loop had, now valid under ``jobs>1``
+and backed by the persistent result cache when one is attached.
+``jobs=1`` (the default) runs inline and is the bit-identical serial
+reference path.
 """
 
 from __future__ import annotations
@@ -16,8 +21,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.conv.layer import ConvLayerSpec
 from repro.conv.workloads import ALL_LAYERS
 from repro.gpu.config import BASELINE_KERNEL, KernelConfig, SimulationOptions
-from repro.gpu.simulator import EliminationMode, LayerResult, simulate_layer
+from repro.gpu.simulator import EliminationMode, LayerResult
 from repro.gpu.stats import geometric_mean
+from repro.runtime.executor import SimPoint, SweepExecutor
 
 #: The LHB sizes of Figures 9/10; None is the oracle.
 LHB_SIZES: Tuple[Optional[int], ...] = (256, 512, 1024, 2048, None)
@@ -75,21 +81,39 @@ class SweepResult:
         }
 
 
+def _resolve_executor(
+    jobs: int, executor: Optional[SweepExecutor]
+) -> SweepExecutor:
+    if executor is not None:
+        return executor
+    return SweepExecutor(jobs=jobs)
+
+
 def _improvement_rows(
     layers: Sequence[ConvLayerSpec],
     configurations: Sequence[Tuple[object, Optional[int], int]],
     parameter_name: str,
     options: SimulationOptions,
     kernel: KernelConfig,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
-    """Shared sweep driver: (label, lhb_entries, assoc) points."""
-    rows: List[SweepRow] = []
+    """Shared sweep driver: (label, lhb_entries, assoc) points.
+
+    One chunk per layer: the baseline point followed by every
+    configuration point, so per-worker trace reuse matches the serial
+    loop exactly.
+    """
+    executor = _resolve_executor(jobs, executor)
+    chunks = []
     for spec in layers:
-        base = simulate_layer(
-            spec, EliminationMode.BASELINE, kernel=kernel, options=options
-        )
-        for parameter, entries, assoc in configurations:
-            result = simulate_layer(
+        points = [
+            SimPoint(
+                spec, EliminationMode.BASELINE, kernel=kernel, options=options
+            )
+        ]
+        points.extend(
+            SimPoint(
                 spec,
                 EliminationMode.DUPLO,
                 lhb_entries=entries,
@@ -97,6 +121,16 @@ def _improvement_rows(
                 kernel=kernel,
                 options=options,
             )
+            for _, entries, assoc in configurations
+        )
+        chunks.append(points)
+
+    rows: List[SweepRow] = []
+    for spec, chunk_results in zip(layers, executor.run_chunks(chunks)):
+        base = chunk_results[0]
+        for (parameter, _, _), result in zip(
+            configurations, chunk_results[1:]
+        ):
             rows.append(
                 SweepRow(
                     layer=spec.qualified_name,
@@ -115,6 +149,8 @@ def lhb_size_sweep(
     sizes: Sequence[Optional[int]] = LHB_SIZES,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figures 9 and 10: vary the LHB size (direct-mapped)."""
     return _improvement_rows(
@@ -123,6 +159,8 @@ def lhb_size_sweep(
         "lhb_size",
         options,
         kernel,
+        jobs,
+        executor,
     )
 
 
@@ -132,6 +170,8 @@ def associativity_sweep(
     entries: int = 1024,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 12: 1024 entries reorganised as set-associative buffers.
 
@@ -145,6 +185,8 @@ def associativity_sweep(
         "associativity",
         options,
         kernel,
+        jobs,
+        executor,
     )
 
 
@@ -154,6 +196,8 @@ def batch_size_sweep(
     entries: int = 1024,
     options: SimulationOptions = SimulationOptions(),
     kernel: KernelConfig = BASELINE_KERNEL,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 13: vary the batch size with a fixed 1024-entry LHB.
 
@@ -162,20 +206,36 @@ def batch_size_sweep(
     LHB's coverage still exceeds the workspace (the paper's three
     regimes).
     """
-    rows: List[SweepRow] = []
+    executor = _resolve_executor(jobs, executor)
+    chunks = []
     for spec in layers:
+        points: List[SimPoint] = []
         for batch in batches:
             batched = spec.with_batch(batch)
-            base = simulate_layer(
-                batched, EliminationMode.BASELINE, kernel=kernel, options=options
+            points.append(
+                SimPoint(
+                    batched,
+                    EliminationMode.BASELINE,
+                    kernel=kernel,
+                    options=options,
+                )
             )
-            result = simulate_layer(
-                batched,
-                EliminationMode.DUPLO,
-                lhb_entries=entries,
-                kernel=kernel,
-                options=options,
+            points.append(
+                SimPoint(
+                    batched,
+                    EliminationMode.DUPLO,
+                    lhb_entries=entries,
+                    kernel=kernel,
+                    options=options,
+                )
             )
+        chunks.append(points)
+
+    rows: List[SweepRow] = []
+    for spec, chunk_results in zip(layers, executor.run_chunks(chunks)):
+        for batch, (base, result) in zip(
+            batches, zip(chunk_results[0::2], chunk_results[1::2])
+        ):
             rows.append(
                 SweepRow(
                     layer=spec.qualified_name,

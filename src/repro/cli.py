@@ -8,9 +8,13 @@ Commands
     Simulate one layer (baseline vs. Duplo) and print the comparison.
 ``experiment NAME``
     Regenerate one paper figure/table (``figure2`` .. ``figure14``,
-    ``table2``, ``energy_area``).
+    ``table2``, ``energy_area``).  ``--jobs N`` fans the sweep across
+    N worker processes; artifacts persist under ``results/cache/``
+    unless ``--no-cache`` is given.
 ``calibration``
     Print the model's headline numbers against the paper's.
+``cache stats`` / ``cache clear``
+    Inspect or empty the persistent trace/result cache.
 """
 
 from __future__ import annotations
@@ -26,17 +30,49 @@ from repro.gpu.config import SimulationOptions
 from repro.gpu.simulator import EliminationMode, simulate_layer
 
 EXPERIMENTS = {
-    "figure2": lambda a: exp_mod.figure2(),
-    "figure3": lambda a: exp_mod.figure3(),
-    "figure9": lambda a: exp_mod.figure9(options=a),
-    "figure10": lambda a: exp_mod.figure10(options=a),
-    "figure11": lambda a: exp_mod.figure11(options=a),
-    "figure12": lambda a: exp_mod.figure12(options=a),
-    "figure13": lambda a: exp_mod.figure13(options=a),
-    "figure14": lambda a: exp_mod.figure14(options=a),
-    "table2": lambda a: exp_mod.table2(),
-    "energy_area": lambda a: exp_mod.energy_area(options=a),
+    "figure2": lambda a, ex: exp_mod.figure2(),
+    "figure3": lambda a, ex: exp_mod.figure3(),
+    "figure9": lambda a, ex: exp_mod.figure9(options=a, executor=ex),
+    "figure10": lambda a, ex: exp_mod.figure10(options=a, executor=ex),
+    "figure11": lambda a, ex: exp_mod.figure11(options=a, executor=ex),
+    "figure12": lambda a, ex: exp_mod.figure12(options=a, executor=ex),
+    "figure13": lambda a, ex: exp_mod.figure13(options=a, executor=ex),
+    "figure14": lambda a, ex: exp_mod.figure14(options=a),
+    "table2": lambda a, ex: exp_mod.table2(),
+    "energy_area": lambda a, ex: exp_mod.energy_area(options=a, executor=ex),
 }
+
+
+def _make_executor(args: argparse.Namespace):
+    """Build the sweep executor the experiment/calibration commands use."""
+    from repro.runtime import DiskCache, SweepExecutor
+
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = DiskCache(args.cache_dir) if args.cache_dir else DiskCache()
+    return SweepExecutor(jobs=getattr(args, "jobs", 1), cache=cache)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the sweep (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent trace/result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache location (default $REPRO_CACHE_DIR or results/cache)",
+    )
 
 
 def _cmd_layers(args: argparse.Namespace) -> int:
@@ -102,7 +138,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
         return 2
     options = SimulationOptions(max_ctas=args.max_ctas)
-    exp = runner(options)
+    exp = runner(options, _make_executor(args))
     if args.chart:
         from repro.analysis.charts import summary_chart
 
@@ -167,11 +203,28 @@ def _cmd_network(args: argparse.Namespace) -> int:
 
 def _cmd_calibration(args: argparse.Namespace) -> int:
     options = SimulationOptions(max_ctas=args.max_ctas)
+    executor = _make_executor(args)
     for name in ("figure9", "figure10", "figure11", "energy_area"):
-        exp = EXPERIMENTS[name](options)
+        exp = EXPERIMENTS[name](options, executor)
         for key, ref in exp.paper.items():
             measured = exp.summary.get(key)
             print(f"{name:12s} {key:32s} paper={ref:<8} measured={measured:.3f}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime import DiskCache
+
+    cache = DiskCache(args.dir) if args.dir else DiskCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifact(s) from {cache.root}")
+        return 0
+    s = cache.stats()
+    print(f"cache root:    {s.root}")
+    print(f"trace files:   {s.trace_files}")
+    print(f"result files:  {s.result_files}")
+    print(f"disk bytes:    {s.disk_bytes:,}")
     return 0
 
 
@@ -198,9 +251,20 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--max-rows", type=int, default=30)
     exp.add_argument("--chart", action="store_true",
                      help="render summary metrics as a bar chart")
+    _add_runtime_flags(exp)
 
     cal = sub.add_parser("calibration", help="paper-vs-measured headlines")
     cal.add_argument("--max-ctas", type=int, default=4)
+    _add_runtime_flags(cal)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent trace/result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--dir", default=None,
+        help="cache location (default $REPRO_CACHE_DIR or results/cache)",
+    )
 
     ins = sub.add_parser("inspect", help="full dossier for one layer")
     ins.add_argument("network", choices=["resnet", "gan", "yolo"])
@@ -229,6 +293,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "calibration": _cmd_calibration,
         "network": _cmd_network,
         "inspect": _cmd_inspect,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

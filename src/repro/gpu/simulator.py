@@ -8,14 +8,21 @@ baseline and a Duplo variant over the *same* trace, which is how all
 the paper's "performance improvement over baseline" figures are
 produced.
 
-Traces are cached per (layer, kernel, options) so parameter sweeps
-(Figures 9, 10, 12, 13) pay trace generation once.
+Traces are cached per (layer, gpu, kernel, options) in an in-process
+LRU so parameter sweeps (Figures 9, 10, 12, 13) pay trace generation
+once.  The key covers the *full* frozen :class:`SimulationOptions`
+(an earlier revision keyed only on ``max_ctas`` / ``representative_sm``
+and aliased options objects differing elsewhere).  The LRU can be
+backed by a persistent :class:`repro.runtime.store.DiskCache` via
+:func:`set_trace_store`, which the parallel runtime and the CLI hook
+up so traces survive across runs.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.conv.layer import ConvLayerSpec
 from repro.core.lhb import LoadHistoryBuffer
@@ -32,8 +39,26 @@ from repro.gpu.ldst import EliminationMode, replay_trace
 from repro.gpu.stats import LayerStats
 from repro.gpu.timing import TimingModel
 
-_trace_cache: Dict[Tuple, KernelTrace] = {}
+_trace_cache: "OrderedDict[Tuple, KernelTrace]" = OrderedDict()
 _TRACE_CACHE_LIMIT = 64
+_trace_store = None  # optional repro.runtime.store.DiskCache
+
+
+def set_trace_store(store) -> None:
+    """Back the in-process trace LRU with a persistent disk store.
+
+    ``store`` is a :class:`repro.runtime.store.DiskCache` (or any
+    object with ``get_trace(key)`` / ``put_trace(key, trace)``) —
+    ``None`` detaches it.  Misses in the LRU then consult the store
+    before regenerating, and fresh traces are persisted.
+    """
+    global _trace_store
+    _trace_store = store
+
+
+def get_trace_store():
+    """The currently attached persistent trace store (or ``None``)."""
+    return _trace_store
 
 
 def _get_trace(
@@ -42,19 +67,40 @@ def _get_trace(
     kernel: KernelConfig,
     options: SimulationOptions,
 ) -> KernelTrace:
-    key = (spec, gpu, kernel, options.max_ctas, options.representative_sm)
+    key = (spec, gpu, kernel, options)
     trace = _trace_cache.get(key)
-    if trace is None:
+    if trace is not None:
+        _trace_cache.move_to_end(key)
+        return trace
+    if _trace_store is not None:
+        from repro.runtime.cachekey import trace_key
+
+        digest = trace_key(spec, gpu, kernel, options)
+        trace = _trace_store.get_trace(digest)
+        if trace is None:
+            trace = generate_sm_trace(spec, gpu, kernel, options)
+            _trace_store.put_trace(digest, trace)
+    else:
         trace = generate_sm_trace(spec, gpu, kernel, options)
-        if len(_trace_cache) >= _TRACE_CACHE_LIMIT:
-            _trace_cache.pop(next(iter(_trace_cache)))
-        _trace_cache[key] = trace
+    while len(_trace_cache) >= _TRACE_CACHE_LIMIT:
+        _trace_cache.popitem(last=False)
+    _trace_cache[key] = trace
     return trace
 
 
 def clear_trace_cache() -> None:
     """Drop cached traces (tests that tweak globals call this)."""
     _trace_cache.clear()
+
+
+def trace_cache_info() -> dict:
+    """Introspection for tests: size, limit, and key list (LRU order)."""
+    return {
+        "size": len(_trace_cache),
+        "limit": _TRACE_CACHE_LIMIT,
+        "keys": list(_trace_cache.keys()),
+        "store": _trace_store,
+    }
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,208 @@
+"""Parallel experiment executor with persistent result caching.
+
+The sweep engine fans ``(layer, configuration)`` points out across
+worker processes.  Work is submitted as *chunks* — all configuration
+points of one layer form one chunk, and a chunk never splits across
+workers — so each worker generates a layer's trace once and reuses it
+for every configuration point, exactly like the serial path did.
+
+Determinism contract: a point's :class:`LayerResult` is a pure
+function of the point (the simulator has no hidden state beyond its
+caches, which only ever return artifacts produced by the same pure
+function).  Results are therefore bit-identical whether computed
+inline, by a worker process, or read back from the on-disk cache; the
+``tests/test_runtime_equivalence.py`` suite enforces this for every
+elimination mode.
+
+Worker scheduling uses the ``fork`` start method where available
+(POSIX) so workers inherit the warm in-process trace cache; on
+platforms without ``fork`` the executor falls back to ``spawn``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.conv.layer import ConvLayerSpec
+from repro.gpu.config import (
+    BASELINE_KERNEL,
+    GPUConfig,
+    KernelConfig,
+    SimulationOptions,
+    TITAN_V,
+)
+from repro.gpu.ldst import EliminationMode
+from repro.runtime.cachekey import result_key
+from repro.runtime.store import DiskCache
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One unit of sweep work: a layer under one configuration.
+
+    ``mode=DUPLO`` with ``lhb_entries=None`` is the paper's oracle
+    (unbounded LHB).  Points are frozen and picklable so they can
+    cross process boundaries and feed content-addressed cache keys.
+    """
+
+    spec: ConvLayerSpec
+    mode: EliminationMode = EliminationMode.DUPLO
+    lhb_entries: Optional[int] = 1024
+    lhb_assoc: int = 1
+    gpu: GPUConfig = TITAN_V
+    kernel: KernelConfig = BASELINE_KERNEL
+    options: SimulationOptions = SimulationOptions()
+
+    def cache_key(self) -> str:
+        return result_key(
+            self.spec,
+            self.gpu,
+            self.kernel,
+            self.options,
+            self.mode.value,
+            self.lhb_entries,
+            self.lhb_assoc,
+        )
+
+
+def simulate_point(point: SimPoint, cache: Optional[DiskCache] = None):
+    """Get-or-compute one point's :class:`LayerResult`."""
+    from repro.gpu.simulator import simulate_layer
+
+    key = None
+    if cache is not None:
+        key = point.cache_key()
+        hit = cache.get_result(key)
+        if hit is not None:
+            return hit
+    result = simulate_layer(
+        point.spec,
+        point.mode,
+        lhb_entries=point.lhb_entries,
+        lhb_assoc=point.lhb_assoc,
+        gpu=point.gpu,
+        kernel=point.kernel,
+        options=point.options,
+    )
+    if cache is not None:
+        cache.put_result(key, result)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing
+# ----------------------------------------------------------------------
+
+_worker_cache: Optional[DiskCache] = None
+
+
+def _init_worker(cache_root: Optional[str]) -> None:
+    """Pool initializer: open the shared store, hook the trace cache."""
+    global _worker_cache
+    from repro.gpu import simulator
+
+    if cache_root is not None:
+        _worker_cache = DiskCache(cache_root)
+        simulator.set_trace_store(_worker_cache)
+    else:
+        _worker_cache = None
+
+
+def _run_chunk(job):
+    """Worker body: one layer's points, sequentially (trace reuse)."""
+    index, points = job
+    return index, [simulate_point(p, _worker_cache) for p in points]
+
+
+class SweepExecutor:
+    """Fans sweep chunks across processes; caches traces and results.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (default) runs inline in the
+        calling process — the serial reference path.
+    cache:
+        Optional :class:`DiskCache`.  When set, layer results are
+        served from / persisted to disk and worker processes route
+        trace generation through the same store.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[DiskCache] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+
+    def run(self, points: Sequence[SimPoint]) -> List:
+        """Run independent points (each its own chunk)."""
+        return [chunk[0] for chunk in self.run_chunks([[p] for p in points])]
+
+    def run_chunks(self, chunks: Sequence[Sequence[SimPoint]]) -> List[List]:
+        """Run chunked points, preserving submission order.
+
+        All points of one chunk run on one worker, in order.  Results
+        come back as one list per chunk, aligned with the input.
+        """
+        from repro.gpu import simulator
+
+        chunks = [list(c) for c in chunks]
+        results: dict = {}
+
+        # Warm-path prefilter: points already on disk never reach a
+        # worker, so a fully cached rerun costs no process dispatch.
+        pending: List[tuple] = []
+        for ci, chunk in enumerate(chunks):
+            missing = []
+            for pi, point in enumerate(chunk):
+                hit = (
+                    self.cache.get_result(point.cache_key())
+                    if self.cache is not None
+                    else None
+                )
+                if hit is not None:
+                    results[(ci, pi)] = hit
+                else:
+                    missing.append((pi, point))
+            if missing:
+                pending.append((ci, missing))
+
+        if pending and (self.jobs == 1 or len(pending) == 1):
+            # Inline path: persist traces through the same store the
+            # workers would use, restoring the previous hook after.
+            prev = simulator.get_trace_store()
+            if self.cache is not None:
+                simulator.set_trace_store(self.cache)
+            try:
+                for ci, missing in pending:
+                    for pi, point in missing:
+                        results[(ci, pi)] = simulate_point(point, self.cache)
+            finally:
+                if self.cache is not None:
+                    simulator.set_trace_store(prev)
+        elif pending:
+            ctx = self._context()
+            root = str(self.cache.root) if self.cache is not None else None
+            jobs = [(ci, [p for _, p in missing]) for ci, missing in pending]
+            by_index = dict(pending)
+            with ctx.Pool(
+                processes=min(self.jobs, len(pending)),
+                initializer=_init_worker,
+                initargs=(root,),
+            ) as pool:
+                for ci, outs in pool.imap_unordered(_run_chunk, jobs):
+                    for (pi, _), result in zip(by_index[ci], outs):
+                        results[(ci, pi)] = result
+
+        return [
+            [results[(ci, pi)] for pi in range(len(chunk))]
+            for ci, chunk in enumerate(chunks)
+        ]
+
+    def _context(self):
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )

@@ -1,0 +1,167 @@
+"""Persistent on-disk artifact store under ``results/cache/``.
+
+Layout (content-addressed, two-level fan-out to keep directories
+small)::
+
+    results/cache/
+      traces/ab/abcdef....pkl     pickled KernelTrace
+      results/9f/9fe312....pkl    pickled LayerResult
+
+Writes are atomic (temp file + ``os.replace``) so concurrent worker
+processes can populate the same store without torn reads; a reader
+either sees a complete artifact or a miss.  Unpickling failures
+(truncated file, version skew) degrade to a miss and the offending
+file is dropped.
+
+The default location is ``$REPRO_CACHE_DIR`` or ``results/cache``
+relative to the working directory; the CLI and
+:class:`repro.runtime.executor.SweepExecutor` both construct stores
+explicitly so tests can point them at temporary directories.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Pickle protocol pinned for cross-run stability.
+_PICKLE_PROTOCOL = 4
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``results/cache`` under the CWD."""
+    return Path(os.environ.get(CACHE_DIR_ENV, os.path.join("results", "cache")))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (this process) plus on-disk totals."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    trace_files: int = 0
+    result_files: int = 0
+    disk_bytes: int = 0
+    root: str = ""
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class DiskCache:
+    """Content-addressed pickle store for traces and layer results."""
+
+    root: Path = field(default_factory=default_cache_dir)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self._stats = CacheStats(root=str(self.root))
+
+    # -- path arithmetic ------------------------------------------------
+
+    def _path(self, family: str, key: str) -> Path:
+        return self.root / family / key[:2] / f"{key}.pkl"
+
+    # -- generic get/put ------------------------------------------------
+
+    def _get(self, family: str, key: str):
+        path = self._path(family, key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn/stale artifact: drop it and report a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _put(self, family: str, key: str, obj) -> None:
+        path = self._path(family, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(obj, fh, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- typed API ------------------------------------------------------
+
+    def get_trace(self, key: str):
+        trace = self._get("traces", key)
+        if trace is None:
+            self._stats.trace_misses += 1
+        else:
+            self._stats.trace_hits += 1
+        return trace
+
+    def put_trace(self, key: str, trace) -> None:
+        self._put("traces", key, trace)
+
+    def get_result(self, key: str):
+        result = self._get("results", key)
+        if result is None:
+            self._stats.result_misses += 1
+        else:
+            self._stats.result_hits += 1
+        return result
+
+    def put_result(self, key: str, result) -> None:
+        self._put("results", key, result)
+
+    # -- maintenance ----------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Process-local hit/miss counters plus on-disk inventory."""
+        s = self._stats
+        s.trace_files, s.result_files, s.disk_bytes = 0, 0, 0
+        for family, attr in (("traces", "trace_files"), ("results", "result_files")):
+            base = self.root / family
+            if not base.is_dir():
+                continue
+            for p in base.rglob("*.pkl"):
+                setattr(s, attr, getattr(s, attr) + 1)
+                try:
+                    s.disk_bytes += p.stat().st_size
+                except OSError:
+                    pass
+        return s
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns files removed."""
+        removed = 0
+        for family in ("traces", "results"):
+            base = self.root / family
+            if not base.is_dir():
+                continue
+            for p in base.rglob("*.pkl"):
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def open_cache(path: Optional[str] = None) -> DiskCache:
+    """Construct a :class:`DiskCache` at ``path`` (or the default)."""
+    return DiskCache(Path(path) if path is not None else default_cache_dir())

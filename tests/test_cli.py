@@ -58,3 +58,44 @@ class TestCommands:
     def test_network_unknown(self, capsys):
         assert main(["network", "alexnet"]) == 2
         assert "unknown network" in capsys.readouterr().err
+
+
+class TestRuntimeFlags:
+    def test_experiment_accepts_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "figure9", "--jobs", "4", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir is None
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure9", "--jobs", "0"])
+
+    def test_calibration_accepts_runtime_flags(self):
+        args = build_parser().parse_args(
+            ["calibration", "--jobs", "2", "--cache-dir", "/tmp/x"]
+        )
+        assert args.jobs == 2
+        assert args.cache_dir == "/tmp/x"
+
+    def test_experiment_uses_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["experiment", "table2", "--cache-dir", str(cache_dir)]
+        ) == 0
+        capsys.readouterr()
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        from repro.runtime import DiskCache
+
+        cache_dir = tmp_path / "cache"
+        DiskCache(cache_dir).put_result("ab" * 32, {"x": 1})
+        assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "result files:  1" in out
+        assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+        assert "result files:  0" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Golden regression fixtures for the figure entry points.
+
+``tests/goldens/*.json`` pins the exact rows of ``figure9`` /
+``figure10`` / ``table2`` on a fixed three-layer subset at
+``max_ctas=2``.  Tolerances are tight (relative 1e-9) — the point is
+to catch refactors that *silently* shift reported numbers, not to
+allow drift.  After an intentional model change, regenerate with::
+
+    PYTHONPATH=src python scripts/make_goldens.py
+
+and commit the refreshed fixtures alongside the change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import experiments
+from repro.conv.workloads import get_layer
+from repro.gpu.config import SimulationOptions
+from repro.gpu.simulator import clear_trace_cache
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_LAYERS = [("resnet", "C2"), ("gan", "TC3"), ("yolo", "C2")]
+GOLDEN_OPTIONS = SimulationOptions(max_ctas=2)
+REL_TOL = 1e-9
+
+
+def _load(name):
+    with open(GOLDEN_DIR / f"{name}.json") as fh:
+        return json.load(fh)
+
+
+def _layers():
+    return [get_layer(net, name) for net, name in GOLDEN_LAYERS]
+
+
+def assert_value_matches(measured, expected, context):
+    if isinstance(expected, float) and isinstance(measured, float):
+        assert measured == pytest.approx(expected, rel=REL_TOL), context
+    else:
+        assert measured == expected, context
+
+
+def assert_experiment_matches(exp, golden):
+    assert len(exp.rows) == len(golden["rows"])
+    for i, (row, want) in enumerate(zip(exp.rows, golden["rows"])):
+        assert set(row) == set(want), f"row {i} columns"
+        for key, expected in want.items():
+            assert_value_matches(row[key], expected, f"row {i} [{key}]")
+    assert set(exp.summary) == set(golden["summary"])
+    for key, expected in golden["summary"].items():
+        assert_value_matches(exp.summary[key], expected, f"summary [{key}]")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_cache():
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+def test_golden_config_matches_fixture():
+    """The in-test configuration mirrors what the fixtures recorded."""
+    for name in ("figure9", "figure10", "table2"):
+        config = _load(name)["config"]
+        assert config["layers"] == ["/".join(p) for p in GOLDEN_LAYERS]
+        assert config["max_ctas"] == GOLDEN_OPTIONS.max_ctas
+
+
+def test_figure9_rows_pinned():
+    exp = experiments.figure9(_layers(), GOLDEN_OPTIONS)
+    assert_experiment_matches(exp, _load("figure9"))
+
+
+def test_figure10_rows_pinned():
+    exp = experiments.figure10(_layers(), GOLDEN_OPTIONS)
+    assert_experiment_matches(exp, _load("figure10"))
+
+
+def test_table2_rows_pinned():
+    exp = experiments.table2()
+    assert_experiment_matches(exp, _load("table2"))
