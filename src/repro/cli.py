@@ -60,6 +60,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_fast_path_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fast-path", choices=["auto", "on", "off"], default="auto",
+        help="vectorised replay: auto falls back where unsupported, "
+        "on forces it (error if unsupported), off replays event by "
+        "event; results are bit-identical either way",
+    )
+
+
+def _options(args: argparse.Namespace, **overrides) -> SimulationOptions:
+    """SimulationOptions from the common CLI knobs."""
+    return SimulationOptions(
+        max_ctas=args.max_ctas,
+        fast_path=getattr(args, "fast_path", "auto"),
+        **overrides,
+    )
+
+
 def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=_positive_int, default=1,
@@ -98,7 +116,7 @@ def _cmd_layers(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     spec = get_layer(args.network, args.layer)
-    options = SimulationOptions(max_ctas=args.max_ctas)
+    options = _options(args)
     base = simulate_layer(
         spec, EliminationMode.BASELINE, options=options
     )
@@ -137,7 +155,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    options = SimulationOptions(max_ctas=args.max_ctas)
+    options = _options(args)
     exp = runner(options, _make_executor(args))
     if args.chart:
         from repro.analysis.charts import summary_chart
@@ -152,7 +170,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.analysis.layerstudy import study_layer
 
     spec = get_layer(args.network, args.layer)
-    options = SimulationOptions(max_ctas=args.max_ctas)
+    options = _options(args)
     dossier = study_layer(spec, lhb_entries=args.lhb or None, options=options)
     print(spec)
     for key, value in dossier.summary().items():
@@ -176,7 +194,7 @@ def _cmd_network(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    options = SimulationOptions(max_ctas=args.max_ctas)
+    options = _options(args)
     rows = []
     speedups = []
     for spec in net.conv_specs():
@@ -202,7 +220,7 @@ def _cmd_network(args: argparse.Namespace) -> int:
 
 
 def _cmd_calibration(args: argparse.Namespace) -> int:
-    options = SimulationOptions(max_ctas=args.max_ctas)
+    options = _options(args)
     executor = _make_executor(args)
     for name in ("figure9", "figure10", "figure11", "energy_area"):
         exp = EXPERIMENTS[name](options, executor)
@@ -244,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="LHB entries (0 = oracle)")
     sim.add_argument("--assoc", type=int, default=1)
     sim.add_argument("--max-ctas", type=int, default=None)
+    _add_fast_path_flag(sim)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure")
     exp.add_argument("name", help="figure2..figure14, table2, energy_area")
@@ -251,10 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--max-rows", type=int, default=30)
     exp.add_argument("--chart", action="store_true",
                      help="render summary metrics as a bar chart")
+    _add_fast_path_flag(exp)
     _add_runtime_flags(exp)
 
     cal = sub.add_parser("calibration", help="paper-vs-measured headlines")
     cal.add_argument("--max-ctas", type=int, default=4)
+    _add_fast_path_flag(cal)
     _add_runtime_flags(cal)
 
     cache = sub.add_parser(
@@ -271,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     ins.add_argument("layer")
     ins.add_argument("--lhb", type=int, default=1024)
     ins.add_argument("--max-ctas", type=int, default=3)
+    _add_fast_path_flag(ins)
 
     net = sub.add_parser(
         "network", help="simulate a derived network (vgg16/discogan/fcn)"
@@ -280,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--lhb", type=int, default=1024,
                      help="LHB entries (0 = oracle)")
     net.add_argument("--max-ctas", type=int, default=2)
+    _add_fast_path_flag(net)
 
     return parser
 

@@ -186,12 +186,30 @@ def entries_to_padded_flat(
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
 
-    n, pix = np.divmod(rows, out.pixels)
-    oy, ox = np.divmod(pix, out.width)
-    tap, ch = np.divmod(cols, eff.in_channels)
-    fy, fx = np.divmod(tap, eff.filter_width)
-    py = oy * eff.stride + fy  # coordinates in the padded frame
-    px = ox * eff.stride + fx
+    # The divide chain dominates the vectorised replay's translation
+    # cost; int32 division is measurably faster and row/col indices of
+    # any realistic workspace fit comfortably.
+    if (
+        rows.size
+        and int(rows.min()) >= 0
+        and int(rows.max()) < 2**31
+        and int(cols.min()) >= 0
+        and int(cols.max()) < 2**31
+    ):
+        r32 = rows.astype(np.int32)
+        c32 = cols.astype(np.int32)
+        n, pix = np.divmod(r32, np.int32(out.pixels))
+        oy, ox = np.divmod(pix, np.int32(out.width))
+        tap, ch = np.divmod(c32, np.int32(eff.in_channels))
+        fy, fx = np.divmod(tap, np.int32(eff.filter_width))
+        n = n.astype(np.int64)
+    else:
+        n, pix = np.divmod(rows, out.pixels)
+        oy, ox = np.divmod(pix, out.width)
+        tap, ch = np.divmod(cols, eff.in_channels)
+        fy, fx = np.divmod(tap, eff.filter_width)
+    py = oy.astype(np.int64) * eff.stride + fy  # padded-frame coords
+    px = ox.astype(np.int64) * eff.stride + fx
     padded_w = eff.in_width + 2 * eff.pad
     element_id = (py * padded_w + px) * eff.in_channels + ch
     if merge_padding:

@@ -247,13 +247,21 @@ class IDGenerator:
         """
         addresses = np.asarray(addresses, dtype=np.int64)
         offset = addresses - self.workspace_base
-        array_idx = offset // self.element_bytes
+        eb = self.element_bytes
+        if eb & (eb - 1) == 0:
+            # Power-of-two element size: shift/mask beat the int64
+            # divider (and match the hardware unit's circuit).
+            array_idx = offset >> (eb.bit_length() - 1)
+            aligned = (offset & (eb - 1)) == 0
+        else:
+            array_idx = offset // eb
+            aligned = offset % eb == 0
         rows = array_idx // self.lda
         cols = array_idx - rows * self.lda
         ok = (
             (addresses >= self.workspace_base)
             & (addresses < self.workspace_end)
-            & (offset % self.element_bytes == 0)
+            & aligned
             & (rows < self.logical_rows)
             & (cols < self.logical_cols)
         )

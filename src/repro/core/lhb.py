@@ -247,14 +247,18 @@ class LoadHistoryBuffer:
     def invalidate(self, element_id: int, batch_id: int, pid: int = 0) -> bool:
         """Release the entry matching a store's tags (Section IV-B).
 
-        Returns True if an entry was released.  The paper notes this
-        never fired in their experiments (GEMM kernels do not store to
-        the workspace); our tests exercise it anyway.
+        Returns True if a *live* entry was released.  A matching entry
+        whose lifetime window already lapsed is removed too (its
+        register no longer holds the datum either way) but is not
+        counted as a store invalidation — counting it would drift the
+        Table II stats relative to :meth:`live_entries`.  The paper
+        notes this never fired in their experiments (GEMM kernels do
+        not store to the workspace); our tests exercise it anyway.
         """
         tag: Tag = (element_id, batch_id, pid)
         if self.is_oracle:
-            if tag in self._oracle:
-                del self._oracle[tag]
+            entry = self._oracle.pop(tag, None)
+            if entry is not None and self._alive(entry):
                 self.stats.store_invalidations += 1
                 return True
             return False
@@ -262,8 +266,10 @@ class LoadHistoryBuffer:
         for entry in ways:
             if entry.tag == tag:
                 ways.remove(entry)
-                self.stats.store_invalidations += 1
-                return True
+                if self._alive(entry):
+                    self.stats.store_invalidations += 1
+                    return True
+                return False
         return False
 
     def flush(self) -> None:
@@ -283,16 +289,45 @@ class LoadHistoryBuffer:
             return sum(self._alive(e) for e in self._oracle.values())
         return sum(self._alive(e) for ways in self._sets for e in ways)
 
-    def storage_bits(self, tag_bits: int = 42, reg_bits: int = 10) -> int:
-        """Raw storage of the buffer (Section V-H area accounting).
+    def tag_bits(
+        self,
+        element_bits: int = 32,
+        batch_bits: int = 10,
+        pid_bits: int = 10,
+    ) -> int:
+        """Stored tag width: each field is explicit, none baked in.
 
-        Paper split: 32-bit element ID (22 tag bits above the 10 index
-        bits) + 10-bit batch ID + PID as tag, 10-bit physical register
-        ID per entry.
+        The element ID's low ``log2(num_sets)`` bits are implied by
+        the set index and not stored; the batch ID and PID widths are
+        parameters so the Section V-H area accounting in
+        :mod:`repro.energy` composes the *same* fields rather than
+        hiding the PID inside an opaque 42-bit constant.  Paper
+        default (1024 entries, direct-mapped): 22 upper element bits
+        + 10 batch + 10 PID = 42.
         """
         if self.is_oracle:
             raise ValueError("oracle LHB has no physical storage")
-        return self.num_entries * (tag_bits + reg_bits)
+        index_bits = max(0, self.num_sets.bit_length() - 1)
+        return (element_bits - index_bits) + batch_bits + pid_bits
+
+    def storage_bits(
+        self,
+        element_bits: int = 32,
+        batch_bits: int = 10,
+        pid_bits: int = 10,
+        reg_bits: int = 10,
+    ) -> int:
+        """Raw storage of the buffer (Section V-H area accounting).
+
+        ``tag_bits`` per entry (see :meth:`tag_bits`) plus the 10-bit
+        physical register payload.  1024-entry direct-mapped default:
+        1024 x (42 + 10) bits.
+        """
+        if self.is_oracle:
+            raise ValueError("oracle LHB has no physical storage")
+        return self.num_entries * (
+            self.tag_bits(element_bits, batch_bits, pid_bits) + reg_bits
+        )
 
     def __repr__(self) -> str:
         size = "oracle" if self.is_oracle else str(self.num_entries)

@@ -120,8 +120,14 @@ class AreaModel:
     """LHB area relative to the SM register file (Section V-H)."""
 
     gpu: GPUConfig = TITAN_V
-    #: Tag bits: 22 upper element-ID bits + 10 batch bits + 10 PID.
-    tag_bits: int = 42
+    #: Tag field widths, mirroring ``LoadHistoryBuffer.tag_bits``:
+    #: the stored tag is the element ID above the set-index bits, plus
+    #: explicit batch-ID and PID fields (the PID is no longer folded
+    #: into an opaque 42-bit constant, so the two accountings cannot
+    #: silently disagree — tests assert they compose identically).
+    element_id_bits: int = 32
+    batch_bits: int = 10
+    pid_bits: int = 10
     #: Payload: 10-bit physical register ID + valid.
     payload_bits: int = 11
     #: Area of one multi-ported register-file cell relative to one
@@ -130,10 +136,21 @@ class AreaModel:
     #: ID generator + control overhead on top of the raw LHB array.
     idgen_area_equiv_bits: int = 2048
 
-    def lhb_bits(self, entries: int = 1024) -> int:
+    def tag_bits(self, entries: int = 1024, assoc: int = 1) -> int:
+        """Stored tag width for a given LHB organisation.
+
+        Same derivation as ``LoadHistoryBuffer.tag_bits``: set-index
+        bits come free, batch and PID fields are stored whole.  The
+        paper's 1024-entry direct-mapped default gives 42.
+        """
         if entries < 1:
             raise ValueError(f"entries must be >= 1, got {entries}")
-        return entries * (self.tag_bits + self.payload_bits)
+        num_sets = max(1, entries // assoc)
+        index_bits = max(0, num_sets.bit_length() - 1)
+        return (self.element_id_bits - index_bits) + self.batch_bits + self.pid_bits
+
+    def lhb_bits(self, entries: int = 1024, assoc: int = 1) -> int:
+        return entries * (self.tag_bits(entries, assoc) + self.payload_bits)
 
     def regfile_bits(self) -> int:
         return self.gpu.regfile_bytes_per_sm * 8

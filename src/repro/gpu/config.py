@@ -222,10 +222,25 @@ class SimulationOptions:
     detection_latency: int = 2
     pid: int = 0
     representative_sm: int = 0
+    #: Vectorised replay selector.  "auto" uses the columnar fast path
+    #: wherever it is exactly representable (baseline, direct-mapped,
+    #: oracle) and falls back to the event path elsewhere
+    #: (set-associative LHBs, multi-kernel interleavings); the
+    #: ``REPRO_FAST_PATH`` environment variable can force "on"/"off"
+    #: when the option is left at "auto".  "on" raises for unsupported
+    #: configurations instead of silently falling back; "off" always
+    #: replays event by event.  Both paths are bit-identical, so this
+    #: never changes results — only wall-clock.
+    fast_path: str = "auto"
 
     def __post_init__(self) -> None:
         if self.lhb_granularity not in ("fragment", "instruction"):
             raise ValueError(
                 f"lhb_granularity must be 'fragment' or 'instruction', "
                 f"got {self.lhb_granularity!r}"
+            )
+        if self.fast_path not in ("auto", "on", "off"):
+            raise ValueError(
+                f"fast_path must be 'auto', 'on' or 'off', "
+                f"got {self.fast_path!r}"
             )

@@ -1,0 +1,473 @@
+"""Vectorised columnar replay: the array-based simulation fast path.
+
+:func:`replay_trace_fast` produces **bit-identical** :class:`LayerStats`
+to the event-level :func:`repro.gpu.ldst.replay_trace` for every
+elimination mode, but replaces the per-event Python loop with a handful
+of NumPy passes over the trace's columnar arrays.  It rests on three
+exact closed forms:
+
+* **Direct-mapped / oracle LHB** — after any access the set holds the
+  tag of that access with its lifetime window freshly anchored, so an
+  access hits iff the *previous access to the same set* carried the
+  same tag within the retirement window.  One stable sort by set index
+  resolves every lookup; the same recurrence with "set = tag" is the
+  oracle buffer.  (Set-associative LHBs have no such local recurrence —
+  they fall back to the event path, as do the PID-tagged multi-kernel
+  interleavings of :mod:`repro.gpu.multikernel`.)
+
+* **LRU inclusion property** — an access to a set-associative LRU cache
+  hits iff its *stack distance* (distinct lines referenced in the same
+  set since the previous reference to this line) is below the
+  associativity.  Stack distances are computed offline: immediate
+  same-line re-references collapse first (they are hits at any
+  associativity and provably do not disturb other distances), windows
+  shorter than the associativity short-circuit to hits, and the
+  residual distances come from a divide-and-conquer dominance count
+  (:func:`dominance_counts`) built entirely from radix sorts and
+  ``searchsorted`` — no per-event state machine.
+
+* **Serve-order identity** — a load is served by exactly one of
+  LHB / shared memory / L1 / L2 / DRAM, so the hierarchy's streams are
+  plain boolean-mask filters of the trace once the LHB verdicts are
+  known.
+
+``LayerStats`` counters never depend on MSHR-merge attribution or on
+the physical registers the LHB records, which is what keeps the closed
+forms sufficient; the fast path fills the caller's
+:class:`~repro.core.lhb.LHBStats` counters so introspection agrees with
+the event path, but the buffer's entry arrays are left empty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.conv.layer import ConvLayerSpec
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.config import GPUConfig, SimulationOptions, TITAN_V
+from repro.gpu.isa import (
+    EVENT_BYTES,
+    KernelTrace,
+    LOAD_A,
+    LOAD_A_SHARED,
+    LOAD_B_SHARED,
+    LOAD_INPUT,
+    STORE_D,
+)
+from repro.gpu.ldst import EliminationMode, _load_ids, workspace_unique_ids
+from repro.gpu.stats import LayerStats, MemoryBreakdown
+
+
+class FastPathUnsupported(ValueError):
+    """Raised when ``fast_path="on"`` forces an unsupported replay."""
+
+
+def supports_fast_path(
+    mode: EliminationMode, lhb: Optional[LoadHistoryBuffer]
+) -> bool:
+    """True when the vectorised recurrences cover this configuration.
+
+    Baseline replays (no LHB) and direct-mapped or oracle buffers are
+    exactly representable; set-associative LHBs (``assoc > 1``) need
+    the event-level LRU state machine and fall back.
+    """
+    if mode is EliminationMode.BASELINE or lhb is None:
+        return True
+    return lhb.is_oracle or lhb.assoc == 1
+
+
+# ----------------------------------------------------------------------
+# Generic vectorised building blocks
+# ----------------------------------------------------------------------
+
+def stable_order(values: np.ndarray) -> np.ndarray:
+    """Stable argsort tuned for int keys.
+
+    NumPy's ``kind="stable"`` argsort (timsort for ints) runs ~4x
+    slower than introsort, so when the value range permits we fold the
+    position into a composite key — ``(value - min) * n + position`` —
+    whose uniqueness makes the default sort's order stable by
+    construction.  Extreme ranges (strict-mode element IDs) fall back
+    to the stable kind.
+    """
+    n = len(values)
+    if n < 2:
+        return np.arange(n, dtype=np.int64)
+    lo = int(values.min())
+    span = int(values.max()) - lo + 1
+    if span * n < (1 << 31):
+        # Narrow ranges (set indices, cache sets) fit an int32 key,
+        # which introsorts another ~30% faster than int64.
+        key = (values - np.int64(lo)).astype(np.int32) * np.int32(n)
+        key += np.arange(n, dtype=np.int32)
+        return np.argsort(key)
+    if span <= (1 << 62) // n:
+        key = (values - np.int64(lo)) * np.int64(n) + np.arange(n, dtype=np.int64)
+        return np.argsort(key)
+    return np.argsort(values, kind="stable")
+
+
+def distinct_count(values: np.ndarray) -> int:
+    """Number of distinct values, via one introsort.
+
+    ``np.unique`` on large int64 arrays routes through a hash table
+    that benchmarks ~15x slower than sort-and-count-boundaries; the
+    fast path only ever needs the cardinality, never the values.
+    """
+    if len(values) == 0:
+        return 0
+    s = np.sort(values)
+    return int(np.count_nonzero(s[1:] != s[:-1])) + 1
+
+
+def prev_in_group(group: np.ndarray) -> np.ndarray:
+    """Index of the previous position carrying the same value (-1 if none).
+
+    The workhorse of both recurrences: one stable argsort groups equal
+    values while preserving stream order, and a shifted comparison
+    links each position to its predecessor in the group.
+    """
+    n = len(group)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = stable_order(group)
+    same = group[order[1:]] == group[order[:-1]]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def dominance_counts(
+    values: np.ndarray, query_x: np.ndarray, query_t: np.ndarray
+) -> np.ndarray:
+    """``counts[k] = #{j <= query_x[k] : values[j] < query_t[k]}``.
+
+    Contract: ``values`` and ``query_t`` lie in ``[-1, m)`` where
+    ``m = len(values)`` — they are previous-occurrence indices, which
+    is what keeps the sentinel ``m + 1`` above every threshold.
+
+    Offline 2D dominance counting via bottom-up divide and conquer:
+    points and queries are interleaved in position order, and at each
+    block-doubling level the queries in right-sibling blocks count the
+    points in their left sibling with one global ``searchsorted`` (the
+    per-block sorted values are made globally monotone by adding
+    ``block_index * offset``).  Every (point, later query) pair is
+    counted at exactly one level — the one where the pair first splits
+    into sibling blocks.  All passes are radix sorts or binary
+    searches; nothing is per-event.
+    """
+    m = len(values)
+    q = len(query_x)
+    counts = np.zeros(q, dtype=np.int64)
+    if q == 0 or m == 0:
+        return counts
+
+    # Interleave: queries sit immediately after the point they close
+    # over (j <= x is inclusive, so points sort before queries at the
+    # same position).  ``pos * 2 + kind`` is a unique composite key, so
+    # the default introsort replaces a lexsort.
+    pos = np.concatenate([np.arange(m, dtype=np.int64), query_x])
+    kind = np.concatenate([np.zeros(m, np.int8), np.ones(q, np.int8)])
+    order = np.argsort(pos * 2 + kind)
+
+    total = m + q
+    padded = 1 << max(0, (total - 1).bit_length())
+    big = np.int32(m + 1)  # sentinel: never counted by any threshold
+    off = np.int64(m + 2)
+
+    # Point values shift to [1, m+1] so they stay int32 — the per-level
+    # sorts are the hot loop, and int32 halves their memory traffic.
+    vals = np.full(padded, big, dtype=np.int32)
+    merged = np.concatenate(
+        [values.astype(np.int64) + 1, np.full(q, big, dtype=np.int64)]
+    )
+    vals[:total] = merged[order]
+
+    is_query = np.zeros(padded, dtype=bool)
+    is_query[:total] = kind[order] == 1
+    qslot = np.nonzero(is_query)[0].astype(np.int64)
+    q_orig = order[qslot] - m  # original query index per slot
+    qthr = query_t[q_orig].astype(np.int64) + 1  # "< t" -> "< t+1"
+
+    slot_idx = np.arange(padded, dtype=np.int64)
+    blk = np.empty(padded, dtype=np.int64)
+    aug = np.empty(padded, dtype=np.int64)
+    span, shift = 1, 0
+    while span < padded:
+        pair = 2 * span
+        in_right = (qslot & span) != 0  # bit test == (slot % pair) >= span
+        if in_right.any():
+            left_start = qslot[in_right] & ~np.int64(pair - 1)
+            # Per-span-block offsets make the concatenation of all
+            # sorted blocks globally monotone for one searchsorted.
+            np.right_shift(slot_idx, shift, out=blk)
+            np.multiply(blk, off, out=aug)
+            aug += vals
+            keys = qthr[in_right] + (left_start >> shift) * off
+            hits = np.searchsorted(aug, keys, side="left") - left_start
+            counts[q_orig[in_right]] += hits
+        vals.reshape(padded // pair, pair).sort(axis=1, kind="stable")
+        span, shift = pair, shift + 1
+    return counts
+
+
+def lru_hit_mask(lines: np.ndarray, set_mask: int, assoc: int) -> np.ndarray:
+    """Exact per-access hit mask of an LRU set-associative cache.
+
+    Implements the stack-distance characterisation: group the stream by
+    set, collapse immediate same-line re-references (always hits, no
+    state disturbance), short-circuit windows shorter than ``assoc``,
+    and resolve the rest with an offline dominance count of
+    ``SD(i) = #{j in (p_i, i) : p_j < p_i}`` — the number of
+    first-in-window references between an access and its previous
+    same-line occurrence ``p_i``.
+    """
+    n = len(lines)
+    hits = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hits
+    lines = np.asarray(lines, dtype=np.int64)
+    sets = lines & np.int64(set_mask)
+
+    order = stable_order(sets)
+    s_sets = sets[order]
+    s_lines = lines[order]
+
+    # Immediate re-reference of the set's MRU line: hit at any assoc,
+    # and removing it leaves every other stack distance unchanged.
+    collapse = np.zeros(n, dtype=bool)
+    collapse[1:] = (s_sets[1:] == s_sets[:-1]) & (s_lines[1:] == s_lines[:-1])
+    hits[order[collapse]] = True
+
+    keep = ~collapse
+    r_lines = s_lines[keep]
+    r_orig = order[keep]
+    m = len(r_lines)
+    if m == 0:
+        return hits
+
+    prev = prev_in_group(r_lines)  # same line => same set => same segment
+    has_prev = prev >= 0
+    position = np.arange(m, dtype=np.int64)
+    window = position - prev - 1
+
+    quick = has_prev & (window < assoc)  # SD <= window length
+    hits[r_orig[quick]] = True
+
+    residual = has_prev & ~quick
+    if assoc > 1 and residual.any():
+        qi = position[residual]
+        qt = prev[residual]
+        # One dominance pass answers both ends of the window — the
+        # per-level sorts dominate and are shared across all queries.
+        k = len(qi)
+        counts = dominance_counts(
+            prev,
+            np.concatenate([qi - 1, qt]),
+            np.concatenate([qt, qt]),
+        )
+        sd = counts[:k] - counts[k:]
+        hits[r_orig[residual][sd < assoc]] = True
+    return hits
+
+
+# ----------------------------------------------------------------------
+# LHB recurrence
+# ----------------------------------------------------------------------
+
+def _lhb_set_indices(element: np.ndarray, lhb: LoadHistoryBuffer) -> np.ndarray:
+    """Vectorised twin of :meth:`LoadHistoryBuffer._index`."""
+    if lhb.hashed_index:
+        mixed = element.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        mixed = mixed ^ (mixed >> np.uint64(29))
+        return (mixed % np.uint64(lhb.num_sets)).astype(np.int64)
+    return np.mod(element.astype(np.int64), lhb.num_sets)
+
+
+def simulate_lhb_stream(
+    element: np.ndarray, batch: np.ndarray, lhb: LoadHistoryBuffer
+) -> np.ndarray:
+    """Replay a lookup stream through ``lhb`` in closed form.
+
+    Returns the per-lookup hit mask and fills ``lhb.stats`` with the
+    exact counters the event path would produce.  The buffer's entry
+    storage is left empty — only the statistics are materialised.  All
+    lookups share one PID (the single-kernel replay invariant), so the
+    tag reduces to ``(element_id, batch_id)``.
+    """
+    n = len(element)
+    stats = lhb.stats
+    stats.lookups += n
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    element = np.asarray(element, dtype=np.int64)
+    batch = np.asarray(batch, dtype=np.int64)
+
+    # Injective (element, batch) -> int64 key: batches are small
+    # non-negative ints, elements may be negative (merged padding).
+    base = np.int64(int(batch.max()) + 1)
+    tag = element * base + batch
+
+    # One stable sort groups the stream by set (tag, for the oracle);
+    # every lookup's predecessor-in-set is then simply the previous
+    # sorted neighbour, so the whole recurrence reduces to adjacent
+    # pair comparisons in sorted space.  ``order`` holds stream
+    # positions, so ``order[i] - order[i-1]`` is the lifetime gap.
+    group = tag if lhb.is_oracle else _lhb_set_indices(element, lhb)
+    order = stable_order(group)
+    adjacent = group[order[1:]] == group[order[:-1]]  # has a predecessor
+    if lhb.is_oracle:
+        same_tag = adjacent
+    else:
+        s_tag = tag[order]
+        same_tag = adjacent & (s_tag[1:] == s_tag[:-1])
+    if lhb.lifetime is None:
+        within = adjacent
+    else:
+        within = adjacent & ((order[1:] - order[:-1]) < lhb.lifetime)
+
+    hit_pairs = same_tag & within
+    hit = np.zeros(n, dtype=bool)
+    hit[order[1:]] = hit_pairs
+    n_hits = int(hit_pairs.sum())
+    stats.hits += n_hits
+    stats.misses += n - n_hits
+    stats.expired_misses += int((same_tag & ~within).sum())
+    if lhb.is_oracle:
+        # Adjacency already chains same-tag accesses: the group leaders
+        # are exactly the first-of-tag (compulsory) lookups.
+        stats.compulsory_misses += n - int(adjacent.sum())
+    else:
+        stats.conflict_replacements += int((adjacent & ~same_tag & within).sum())
+        stats.compulsory_misses += distinct_count(tag)
+    return hit
+
+
+# ----------------------------------------------------------------------
+# Full replay
+# ----------------------------------------------------------------------
+
+def replay_trace_fast(
+    trace: KernelTrace,
+    spec: ConvLayerSpec,
+    gpu: GPUConfig = TITAN_V,
+    options: SimulationOptions = SimulationOptions(),
+    mode: EliminationMode = EliminationMode.DUPLO,
+    lhb: Optional[LoadHistoryBuffer] = None,
+    l2_share_sms: Optional[int] = None,
+) -> LayerStats:
+    """Vectorised, bit-identical drop-in for ``replay_trace``.
+
+    Raises :class:`FastPathUnsupported` for set-associative LHBs —
+    callers on ``fast_path="auto"`` route those to the event path.
+    """
+    if mode is not EliminationMode.BASELINE and lhb is None:
+        lhb = LoadHistoryBuffer(lifetime=options.lhb_lifetime)
+    if not supports_fast_path(mode, lhb):
+        raise FastPathUnsupported(
+            f"set-associative LHB (assoc={lhb.assoc}) has no vectorised "
+            "recurrence; use the event-level replay"
+        )
+
+    l2_capacity = gpu.l2_bytes
+    if l2_share_sms is not None:
+        l2_capacity = max(
+            gpu.l2_bytes // l2_share_sms, gpu.l2_assoc * gpu.l2_line_bytes
+        )
+    l1 = SetAssociativeCache(
+        gpu.l1_bytes, gpu.l1_assoc, gpu.l1_line_bytes,
+        mshr_window=gpu.l1_latency,
+    )
+    l2 = SetAssociativeCache(l2_capacity, gpu.l2_assoc, gpu.l2_line_bytes)
+
+    is_load = trace.kind != STORE_D
+    load_kind = trace.kind[is_load]
+    load_addr = trace.address[is_load]
+    consults, batch, element = _load_ids(
+        trace, spec, options, mode, load_kind, load_addr
+    )
+
+    n = len(load_kind)
+    eliminated = np.zeros(n, dtype=bool)
+    if lhb is not None:
+        if options.lhb_granularity == "fragment":
+            idx = np.nonzero(consults)[0]
+            eliminated[idx] = simulate_lhb_stream(element[idx], batch[idx], lhb)
+        else:
+            instr = trace.instr[is_load]
+            first = np.ones(n, dtype=bool)
+            first[1:] = instr[1:] != instr[:-1]
+            group = np.cumsum(first) - 1
+            base_idx = np.nonzero(first)[0]
+            looked_up = consults[base_idx]
+            lookup_idx = base_idx[looked_up]
+            hit = simulate_lhb_stream(element[lookup_idx], batch[lookup_idx], lhb)
+            group_hit = np.zeros(len(base_idx), dtype=bool)
+            group_hit[looked_up] = hit
+            eliminated = group_hit[group]
+
+    is_shared = (load_kind == LOAD_A_SHARED) | (load_kind == LOAD_B_SHARED)
+    served_shared_mask = is_shared & ~eliminated
+    to_l1 = ~eliminated & ~is_shared
+    lines = load_addr[to_l1] >> l1.line_shift
+
+    l1_hit_mask = lru_hit_mask(lines, l1.set_mask, l1.assoc)
+    l2_lines = lines[~l1_hit_mask]
+    l2_hit_mask = lru_hit_mask(l2_lines, l2.set_mask, l2.assoc)
+
+    served_lhb = int(eliminated.sum())
+    served_shared = int(served_shared_mask.sum())
+    l1_accesses = int(lines.size)
+    l1_hits = int(l1_hit_mask.sum())
+    l2_accesses = int(l2_lines.size)
+    l2_hits = int(l2_hit_mask.sum())
+    served_dram = l2_accesses - l2_hits
+    dram_read_bytes = served_dram * gpu.l1_line_bytes
+
+    l1.stats.accesses, l1.stats.hits = l1_accesses, l1_hits
+    l2.stats.accesses, l2.stats.hits = l2_accesses, l2_hits
+
+    is_a = (load_kind == LOAD_A) | (load_kind == LOAD_A_SHARED)
+    stores = int((trace.kind == STORE_D).sum())
+    loads_a = int(is_a.sum())
+    loads_input = int((load_kind == LOAD_INPUT).sum())
+    loads_b = n - loads_a - loads_input
+    if mode is EliminationMode.DUPLO and options.lhb_granularity == "fragment":
+        # The _load_ids pass already translated every A-load address
+        # with the same generator ``workspace_unique_ids`` would build;
+        # reuse its output instead of translating the stream twice.
+        translated = is_a & consults
+        keys = batch[translated] * (1 << 44) + element[translated]
+        ws_instrs = loads_a
+        unique_ids = distinct_count(keys) + loads_a - int(translated.sum())
+    else:
+        ws_instrs, unique_ids = workspace_unique_ids(trace, spec, options)
+    return LayerStats(
+        loads_total=n,
+        loads_workspace=loads_a,
+        loads_filter=loads_b,
+        loads_input=loads_input,
+        stores=stores,
+        workspace_instructions=ws_instrs,
+        lhb_lookups=lhb.stats.lookups if lhb is not None else 0,
+        lhb_hits=lhb.stats.hits if lhb is not None else 0,
+        eliminated_fragments=served_lhb,
+        unique_workspace_ids=unique_ids,
+        l1_accesses=l1_accesses,
+        l1_hits=l1_hits,
+        l2_accesses=l2_accesses,
+        l2_hits=l2_hits,
+        dram_read_bytes=dram_read_bytes,
+        dram_write_bytes=stores * EVENT_BYTES[STORE_D],
+        mma_ops=trace.mma_ops,
+        breakdown=MemoryBreakdown(
+            lhb=served_lhb,
+            l1=l1_hits,
+            l2=l2_hits,
+            dram=served_dram,
+            shared=served_shared,
+        ),
+    )

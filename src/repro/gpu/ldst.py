@@ -139,6 +139,28 @@ def workspace_unique_ids(
     return int(bases.size), uniques
 
 
+def summarise_load_mix(
+    trace: KernelTrace,
+    spec: ConvLayerSpec,
+    options: SimulationOptions,
+    load_kind: np.ndarray,
+) -> Tuple[int, int, int, int, int, int]:
+    """Load/store mix counters shared by the event and fast paths.
+
+    Returns ``(stores, loads_a, loads_b, loads_input, workspace
+    instructions, unique workspace IDs)`` for the traced portion, so
+    both replay implementations account the stream identically.
+    """
+    stores = int((trace.kind == STORE_D).sum())
+    loads_a = int(
+        ((load_kind == LOAD_A) | (load_kind == LOAD_A_SHARED)).sum()
+    )
+    loads_input = int((load_kind == LOAD_INPUT).sum())
+    loads_b = len(load_kind) - loads_a - loads_input
+    ws_instrs, unique_ids = workspace_unique_ids(trace, spec, options)
+    return stores, loads_a, loads_b, loads_input, ws_instrs, unique_ids
+
+
 def replay_trace(
     trace: KernelTrace,
     spec: ConvLayerSpec,
@@ -249,13 +271,9 @@ def replay_trace(
                 served_dram += 1
                 dram_read_bytes += line_bytes
 
-    stores = int((trace.kind == STORE_D).sum())
-    loads_a = int(
-        ((load_kind == LOAD_A) | (load_kind == LOAD_A_SHARED)).sum()
+    stores, loads_a, loads_b, loads_input, ws_instrs, unique_ids = (
+        summarise_load_mix(trace, spec, options, load_kind)
     )
-    loads_input = int((load_kind == LOAD_INPUT).sum())
-    loads_b = len(load_kind) - loads_a - loads_input
-    ws_instrs, unique_ids = workspace_unique_ids(trace, spec, options)
 
     stats = LayerStats(
         loads_total=len(load_kind),

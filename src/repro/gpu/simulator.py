@@ -20,8 +20,9 @@ up so traces survive across runs.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.conv.layer import ConvLayerSpec
@@ -33,11 +34,22 @@ from repro.gpu.config import (
     SimulationOptions,
     TITAN_V,
 )
+from repro.gpu.fastpath import (
+    FastPathUnsupported,
+    replay_trace_fast,
+    supports_fast_path,
+)
 from repro.gpu.isa import KernelTrace
 from repro.gpu.kernel import generate_sm_trace
 from repro.gpu.ldst import EliminationMode, replay_trace
 from repro.gpu.stats import LayerStats
 from repro.gpu.timing import TimingModel
+
+#: Environment override consulted when ``options.fast_path == "auto"``:
+#: set ``REPRO_FAST_PATH=on`` / ``off`` to force the replay
+#: implementation without rebuilding options objects (the CI
+#: equivalence lanes use exactly this).
+FAST_PATH_ENV = "REPRO_FAST_PATH"
 
 _trace_cache: "OrderedDict[Tuple, KernelTrace]" = OrderedDict()
 _TRACE_CACHE_LIMIT = 64
@@ -61,12 +73,43 @@ def get_trace_store():
     return _trace_store
 
 
+def _resolve_fast_path(
+    options: SimulationOptions,
+    mode: EliminationMode,
+    lhb: Optional[LoadHistoryBuffer],
+) -> bool:
+    """Decide which replay implementation serves this simulation.
+
+    ``"auto"`` defers to ``$REPRO_FAST_PATH`` when set, otherwise uses
+    the fast path wherever it is exactly representable.  ``"on"``
+    raises :class:`FastPathUnsupported` rather than silently degrade;
+    ``"off"`` always takes the event path.
+    """
+    choice = options.fast_path
+    if choice == "auto":
+        env = os.environ.get(FAST_PATH_ENV, "").strip().lower()
+        if env in ("on", "off"):
+            choice = env
+    if choice == "off":
+        return False
+    supported = supports_fast_path(mode, lhb)
+    if choice == "on" and not supported:
+        raise FastPathUnsupported(
+            "fast_path='on' but this configuration (set-associative LHB) "
+            "requires the event-level replay; use fast_path='auto'"
+        )
+    return supported
+
+
 def _get_trace(
     spec: ConvLayerSpec,
     gpu: GPUConfig,
     kernel: KernelConfig,
     options: SimulationOptions,
 ) -> KernelTrace:
+    # fast_path selects the replay implementation, never the trace —
+    # normalise it out so on/off runs share one cached trace.
+    options = replace(options, fast_path="auto")
     key = (spec, gpu, kernel, options)
     trace = _trace_cache.get(key)
     if trace is not None:
@@ -163,7 +206,10 @@ def simulate_layer(
         lhb = make_lhb(
             lhb_entries, lhb_assoc, options.lhb_lifetime, options.lhb_hashed_index
         )
-    sm_traced = replay_trace(trace, spec, gpu, options, mode, lhb)
+    if _resolve_fast_path(options, mode, lhb):
+        sm_traced = replay_trace_fast(trace, spec, gpu, options, mode, lhb)
+    else:
+        sm_traced = replay_trace(trace, spec, gpu, options, mode, lhb)
 
     # Extrapolate the traced prefix to the SM's full CTA assignment,
     # then to the whole grid.

@@ -128,28 +128,116 @@ class LayerStats:
         return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
 
     def scaled(self, factor: float) -> "LayerStats":
-        """Extrapolate traced counts to the full layer."""
+        """Extrapolate traced counts to the full layer.
+
+        Scaling is invariant-preserving: primary counters are scaled in
+        float and rounded once, while dependent counters are *derived*
+        from the scaled primaries whenever the corresponding identity
+        held on the unscaled stats.  Independent rounding used to break
+        the accounting for small fractional factors (``lhb_hits >
+        lhb_lookups``, load-mix parts not summing to ``loads_total``,
+        service breakdown drifting from the cache counters); a derived
+        counter may therefore differ by +-1 from its independently
+        rounded value — the identities win.  Identities the unscaled
+        stats do not satisfy (hand-built partial stats) are left alone
+        and every counter falls back to plain rounding.
+        """
+
+        def r(value: float) -> int:
+            return round(value * factor)
+
+        loads_workspace = r(self.loads_workspace)
+        loads_filter = r(self.loads_filter)
+        loads_input = r(self.loads_input)
+        mix = self.loads_workspace + self.loads_filter + self.loads_input
+        if mix == self.loads_total:
+            loads_total = loads_workspace + loads_filter + loads_input
+        else:
+            loads_total = r(self.loads_total)
+
+        stores = r(self.stores)
+        workspace_instructions = r(self.workspace_instructions)
+        lhb_lookups = r(self.lhb_lookups)
+        lhb_hits = r(self.lhb_hits)
+        if self.lhb_hits <= self.lhb_lookups:
+            lhb_hits = min(lhb_hits, lhb_lookups)
+        unique_workspace_ids = r(self.unique_workspace_ids)
+        if self.unique_workspace_ids <= self.workspace_instructions:
+            unique_workspace_ids = min(
+                unique_workspace_ids, workspace_instructions
+            )
+
+        eliminated = r(self.eliminated_fragments)
+        shared = r(self.breakdown.shared)
+        if self.eliminated_fragments <= self.loads_total:
+            eliminated = min(eliminated, loads_total)
+        served_cached = (
+            self.loads_total - self.eliminated_fragments - self.breakdown.shared
+        )
+        if self.l1_accesses == served_cached:
+            shared = min(shared, loads_total - eliminated)
+            l1_accesses = loads_total - eliminated - shared
+        else:
+            l1_accesses = r(self.l1_accesses)
+        l1_hits = r(self.l1_hits)
+        if self.l1_hits <= self.l1_accesses:
+            l1_hits = min(l1_hits, l1_accesses)
+        if self.l2_accesses == self.l1_accesses - self.l1_hits:
+            l2_accesses = l1_accesses - l1_hits
+        else:
+            l2_accesses = r(self.l2_accesses)
+        l2_hits = r(self.l2_hits)
+        if self.l2_hits <= self.l2_accesses:
+            l2_hits = min(l2_hits, l2_accesses)
+
+        # Byte traffic follows the event counts it is made of (128 B
+        # per L2 miss, 64 B per output store) rather than rounding on
+        # its own and drifting from them.
+        misses0 = self.l2_accesses - self.l2_hits
+        if misses0 > 0 and self.dram_read_bytes % misses0 == 0:
+            dram_read_bytes = (l2_accesses - l2_hits) * (
+                self.dram_read_bytes // misses0
+            )
+        else:
+            dram_read_bytes = r(self.dram_read_bytes)
+        if self.stores > 0 and self.dram_write_bytes % self.stores == 0:
+            dram_write_bytes = stores * (self.dram_write_bytes // self.stores)
+        else:
+            dram_write_bytes = r(self.dram_write_bytes)
+
+        breakdown = MemoryBreakdown(
+            lhb=eliminated
+            if self.breakdown.lhb == self.eliminated_fragments
+            else r(self.breakdown.lhb),
+            l1=l1_hits if self.breakdown.l1 == self.l1_hits else r(self.breakdown.l1),
+            l2=l2_hits if self.breakdown.l2 == self.l2_hits else r(self.breakdown.l2),
+            dram=l2_accesses - l2_hits
+            if self.breakdown.dram == self.l2_accesses - self.l2_hits
+            else r(self.breakdown.dram),
+            shared=shared,
+        )
+
         return LayerStats(
-            loads_total=round(self.loads_total * factor),
-            loads_workspace=round(self.loads_workspace * factor),
-            loads_filter=round(self.loads_filter * factor),
-            loads_input=round(self.loads_input * factor),
-            stores=round(self.stores * factor),
-            workspace_instructions=round(self.workspace_instructions * factor),
-            lhb_lookups=round(self.lhb_lookups * factor),
-            lhb_hits=round(self.lhb_hits * factor),
-            eliminated_fragments=round(self.eliminated_fragments * factor),
-            unique_workspace_ids=round(self.unique_workspace_ids * factor),
-            l1_accesses=round(self.l1_accesses * factor),
-            l1_hits=round(self.l1_hits * factor),
-            l2_accesses=round(self.l2_accesses * factor),
-            l2_hits=round(self.l2_hits * factor),
-            dram_read_bytes=round(self.dram_read_bytes * factor),
-            dram_write_bytes=round(self.dram_write_bytes * factor),
-            mma_ops=round(self.mma_ops * factor),
+            loads_total=loads_total,
+            loads_workspace=loads_workspace,
+            loads_filter=loads_filter,
+            loads_input=loads_input,
+            stores=stores,
+            workspace_instructions=workspace_instructions,
+            lhb_lookups=lhb_lookups,
+            lhb_hits=lhb_hits,
+            eliminated_fragments=eliminated,
+            unique_workspace_ids=unique_workspace_ids,
+            l1_accesses=l1_accesses,
+            l1_hits=l1_hits,
+            l2_accesses=l2_accesses,
+            l2_hits=l2_hits,
+            dram_read_bytes=dram_read_bytes,
+            dram_write_bytes=dram_write_bytes,
+            mma_ops=r(self.mma_ops),
             cycles=self.cycles * factor,
             cycle_components=dict(self.cycle_components),
-            breakdown=self.breakdown.scaled(factor),
+            breakdown=breakdown,
         )
 
 

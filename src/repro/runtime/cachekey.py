@@ -38,7 +38,18 @@ from repro.gpu.config import GPUConfig, KernelConfig, SimulationOptions
 #: ``repro.gpu.kernel``, ``repro.gpu.ldst``, ``repro.gpu.timing``, or
 #: anything else that shapes traces/results changes semantics, so
 #: previously persisted artifacts are invalidated wholesale.
-CACHE_SALT = "duplo-runtime-v1"
+CACHE_SALT = "duplo-runtime-v2"
+
+
+def _replay_invariant(options: SimulationOptions) -> SimulationOptions:
+    """Normalise options fields that cannot change cached artifacts.
+
+    ``fast_path`` picks the replay *implementation*; both are
+    bit-identical (enforced by the equivalence suite), so keying on it
+    would only split the cache and make forced-on/forced-off runs
+    regenerate artifacts they already have.
+    """
+    return dataclasses.replace(options, fast_path="auto")
 
 
 def canonical(obj) -> object:
@@ -85,7 +96,7 @@ def trace_key(
             "spec": canonical(spec),
             "gpu": canonical(gpu),
             "kernel": canonical(kernel),
-            "options": canonical(options),
+            "options": canonical(_replay_invariant(options)),
         }
     )
 
@@ -107,7 +118,7 @@ def result_key(
             "spec": canonical(spec),
             "gpu": canonical(gpu),
             "kernel": canonical(kernel),
-            "options": canonical(options),
+            "options": canonical(_replay_invariant(options)),
             "mode": mode,
             "lhb_entries": lhb_entries,
             "lhb_assoc": lhb_assoc,

@@ -4,8 +4,15 @@ Layout (content-addressed, two-level fan-out to keep directories
 small)::
 
     results/cache/
-      traces/ab/abcdef....pkl     pickled KernelTrace
+      traces/ab/abcdef....npz     columnar KernelTrace (compressed)
       results/9f/9fe312....pkl    pickled LayerResult
+
+Traces persist in the columnar ``.npz`` form
+(:meth:`repro.gpu.isa.KernelTrace.save_npz`): narrow per-field dtypes
+plus deflate shrink the archive roughly an order of magnitude versus
+the pickled int64 struct-of-arrays, and loading needs no pickle at
+all.  Stores written by earlier versions (``traces/**.pkl``) are still
+read as a fallback.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent worker
 processes can populate the same store without torn reads; a reader
@@ -69,8 +76,8 @@ class DiskCache:
 
     # -- path arithmetic ------------------------------------------------
 
-    def _path(self, family: str, key: str) -> Path:
-        return self.root / family / key[:2] / f"{key}.pkl"
+    def _path(self, family: str, key: str, suffix: str = ".pkl") -> Path:
+        return self.root / family / key[:2] / f"{key}{suffix}"
 
     # -- generic get/put ------------------------------------------------
 
@@ -104,10 +111,44 @@ class DiskCache:
                 pass
             raise
 
+    def _get_trace_npz(self, key: str):
+        from repro.gpu.isa import KernelTrace
+
+        path = self._path("traces", key, suffix=".npz")
+        try:
+            return KernelTrace.load_npz(str(path))
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn/stale archive: drop it and report a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _put_trace_npz(self, key: str, trace) -> None:
+        path = self._path("traces", key, suffix=".npz")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                trace.save_npz(fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     # -- typed API ------------------------------------------------------
 
     def get_trace(self, key: str):
-        trace = self._get("traces", key)
+        trace = self._get_trace_npz(key)
+        if trace is None:
+            # Legacy stores persisted pickled traces.
+            trace = self._get("traces", key)
         if trace is None:
             self._stats.trace_misses += 1
         else:
@@ -115,7 +156,7 @@ class DiskCache:
         return trace
 
     def put_trace(self, key: str, trace) -> None:
-        self._put("traces", key, trace)
+        self._put_trace_npz(key, trace)
 
     def get_result(self, key: str):
         result = self._get("results", key)
@@ -138,12 +179,13 @@ class DiskCache:
             base = self.root / family
             if not base.is_dir():
                 continue
-            for p in base.rglob("*.pkl"):
-                setattr(s, attr, getattr(s, attr) + 1)
-                try:
-                    s.disk_bytes += p.stat().st_size
-                except OSError:
-                    pass
+            for pattern in ("*.pkl", "*.npz"):
+                for p in base.rglob(pattern):
+                    setattr(s, attr, getattr(s, attr) + 1)
+                    try:
+                        s.disk_bytes += p.stat().st_size
+                    except OSError:
+                        pass
         return s
 
     def clear(self) -> int:
@@ -153,12 +195,13 @@ class DiskCache:
             base = self.root / family
             if not base.is_dir():
                 continue
-            for p in base.rglob("*.pkl"):
-                try:
-                    p.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            for pattern in ("*.pkl", "*.npz"):
+                for p in base.rglob(pattern):
+                    try:
+                        p.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
 

@@ -102,3 +102,29 @@ class TestAreaModel:
     def test_entries_validation(self):
         with pytest.raises(ValueError):
             DEFAULT_AREA.lhb_bits(0)
+
+    def test_tag_bits_agree_with_lhb_model(self):
+        """The area accounting and the behavioural LHB must derive the
+        stored tag from the same explicit field widths — for every
+        organisation, not just the paper default."""
+        from repro.core.lhb import LoadHistoryBuffer
+
+        for entries, assoc in [
+            (1024, 1), (1024, 4), (256, 1), (256, 2), (16, 16), (1, 1),
+        ]:
+            buf = LoadHistoryBuffer(num_entries=entries, assoc=assoc)
+            assert DEFAULT_AREA.tag_bits(entries, assoc) == buf.tag_bits(
+                element_bits=DEFAULT_AREA.element_id_bits,
+                batch_bits=DEFAULT_AREA.batch_bits,
+                pid_bits=DEFAULT_AREA.pid_bits,
+            ), (entries, assoc)
+
+    def test_paper_default_composition(self):
+        """1024 x (42-bit tag + 11-bit payload); the behavioural model
+        stores 10 payload bits (no valid bit — liveness is the
+        lifetime window), hence the one-bit-per-entry difference."""
+        from repro.core.lhb import LoadHistoryBuffer
+
+        buf = LoadHistoryBuffer(num_entries=1024)
+        assert DEFAULT_AREA.tag_bits(1024) == buf.tag_bits() == 42
+        assert DEFAULT_AREA.lhb_bits(1024) - buf.storage_bits() == 1024

@@ -1,0 +1,228 @@
+"""Vectorised replay building blocks vs. the event-level models.
+
+Every closed form in :mod:`repro.gpu.fastpath` is checked against the
+stateful reference it replaces: the dominance counter against a brute
+force double loop, the LRU mask against :class:`SetAssociativeCache`,
+and the LHB recurrence against :class:`LoadHistoryBuffer` — hit masks
+*and* every statistics counter, across hashed/plain indexing, lifetime
+windows, and the oracle configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.cache import SetAssociativeCache
+from repro.gpu.config import BASELINE_KERNEL, SimulationOptions, TITAN_V
+from repro.gpu.fastpath import (
+    FastPathUnsupported,
+    distinct_count,
+    dominance_counts,
+    lru_hit_mask,
+    prev_in_group,
+    replay_trace_fast,
+    simulate_lhb_stream,
+    stable_order,
+    supports_fast_path,
+)
+from repro.gpu.kernel import generate_sm_trace
+from repro.gpu.ldst import EliminationMode
+
+from tests.conftest import make_spec
+
+
+class TestStableOrder:
+    @pytest.mark.parametrize(
+        "spread",
+        [
+            5,  # int32 composite-key tier
+            1 << 24,  # int64 composite-key tier (span * n >= 2^31)
+            1 << 61,  # timsort fallback tier
+        ],
+    )
+    def test_matches_stable_argsort(self, rng, spread):
+        values = rng.integers(-spread, spread, size=4097, dtype=np.int64)
+        np.testing.assert_array_equal(
+            stable_order(values), np.argsort(values, kind="stable")
+        )
+
+    def test_stability_on_heavy_ties(self, rng):
+        values = rng.integers(0, 3, size=1000, dtype=np.int64)
+        order = stable_order(values)
+        # Equal values must keep their stream order.
+        for v in range(3):
+            positions = order[values[order] == v]
+            assert np.all(np.diff(positions) > 0)
+
+    def test_trivial_sizes(self):
+        assert stable_order(np.array([], dtype=np.int64)).size == 0
+        np.testing.assert_array_equal(
+            stable_order(np.array([7], dtype=np.int64)), [0]
+        )
+
+
+class TestDistinctCount:
+    def test_matches_unique(self, rng):
+        values = rng.integers(-50, 50, size=1000, dtype=np.int64)
+        assert distinct_count(values) == len(np.unique(values))
+
+    def test_empty_and_constant(self):
+        assert distinct_count(np.array([], dtype=np.int64)) == 0
+        assert distinct_count(np.zeros(10, dtype=np.int64)) == 1
+
+
+class TestPrevInGroup:
+    def test_matches_brute_force(self, rng):
+        group = rng.integers(0, 7, size=300, dtype=np.int64)
+        prev = prev_in_group(group)
+        last = {}
+        for i, g in enumerate(group.tolist()):
+            assert prev[i] == last.get(g, -1)
+            last[g] = i
+
+
+class TestDominanceCounts:
+    @pytest.mark.parametrize("m", [1, 2, 3, 7, 64, 65, 300])
+    def test_matches_brute_force(self, rng, m):
+        """Contract inputs: values and thresholds are previous-occurrence
+        indices in [-1, m)."""
+        for _ in range(5):
+            values = rng.integers(-1, m, size=m, dtype=np.int64)
+            q = int(rng.integers(1, 2 * m + 1))
+            qx = rng.integers(0, m, size=q, dtype=np.int64)
+            qt = rng.integers(-1, m, size=q, dtype=np.int64)
+            counts = dominance_counts(values, qx, qt)
+            for k in range(q):
+                expected = int(
+                    np.count_nonzero(values[: qx[k] + 1] < qt[k])
+                )
+                assert counts[k] == expected, (m, k)
+
+    def test_empty(self):
+        empty = np.array([], dtype=np.int64)
+        assert dominance_counts(empty, empty, empty).size == 0
+        assert (
+            dominance_counts(np.array([0]), empty, empty).size == 0
+        )
+
+
+class TestLruHitMask:
+    @pytest.mark.parametrize(
+        "capacity,assoc,n_lines",
+        [
+            (4 * 128, 1, 16),  # direct-mapped, heavy conflicts
+            (8 * 128, 2, 16),
+            (16 * 128, 4, 10),  # mostly-hit regime
+            (16 * 128, 16, 40),  # fully associative set
+            (128 * 128, 4, 400),  # sparse conflicts
+        ],
+    )
+    def test_matches_reference_cache(self, rng, capacity, assoc, n_lines):
+        for trial in range(4):
+            cache = SetAssociativeCache(capacity, assoc, 128)
+            lines = rng.integers(0, n_lines, size=600, dtype=np.int64)
+            expected = np.array([cache.access(int(l)) for l in lines])
+            got = lru_hit_mask(lines, cache.set_mask, cache.assoc)
+            np.testing.assert_array_equal(got, expected, err_msg=str(trial))
+
+    def test_titan_v_geometry(self, rng):
+        """The exact L1 the replay instantiates, conflict-rich stream."""
+        gpu = TITAN_V
+        cache = SetAssociativeCache(
+            gpu.l1_bytes, gpu.l1_assoc, gpu.l1_line_bytes
+        )
+        # Strided lines alias a few sets hard.
+        lines = (
+            rng.integers(0, 8, size=3000, dtype=np.int64)
+            * (cache.set_mask + 1)
+            + rng.integers(0, 4, size=3000, dtype=np.int64)
+        )
+        expected = np.array([cache.access(int(l)) for l in lines])
+        got = lru_hit_mask(lines, cache.set_mask, cache.assoc)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_empty_stream(self):
+        assert lru_hit_mask(np.array([], dtype=np.int64), 0, 4).size == 0
+
+
+LHB_CONFIGS = [
+    dict(num_entries=16, assoc=1, lifetime=None, hashed_index=False),
+    dict(num_entries=16, assoc=1, lifetime=None, hashed_index=True),
+    dict(num_entries=16, assoc=1, lifetime=7, hashed_index=True),
+    dict(num_entries=64, assoc=1, lifetime=3, hashed_index=False),
+    dict(num_entries=None, assoc=1, lifetime=None, hashed_index=True),
+    dict(num_entries=None, assoc=1, lifetime=5, hashed_index=True),
+]
+
+
+class TestSimulateLhbStream:
+    @pytest.mark.parametrize("config", LHB_CONFIGS)
+    def test_matches_event_level_lhb(self, rng, config):
+        for trial in range(4):
+            n = 500
+            element = rng.integers(0, 40, size=n, dtype=np.int64)
+            batch = rng.integers(0, 3, size=n, dtype=np.int64)
+
+            ref = LoadHistoryBuffer(**config)
+            expected = np.array(
+                [
+                    ref.access(int(e), int(b), dest_reg=0).hit
+                    for e, b in zip(element, batch)
+                ]
+            )
+
+            fast = LoadHistoryBuffer(**config)
+            got = simulate_lhb_stream(element, batch, fast)
+
+            np.testing.assert_array_equal(got, expected, err_msg=str(config))
+            for counter in (
+                "lookups",
+                "hits",
+                "misses",
+                "compulsory_misses",
+                "expired_misses",
+                "conflict_replacements",
+                "store_invalidations",
+            ):
+                assert getattr(fast.stats, counter) == getattr(
+                    ref.stats, counter
+                ), (config, counter)
+
+    def test_empty_stream(self):
+        buf = LoadHistoryBuffer(num_entries=16)
+        empty = np.array([], dtype=np.int64)
+        assert simulate_lhb_stream(empty, empty, buf).size == 0
+        assert buf.stats.lookups == 0
+
+    def test_accumulates_across_calls(self, rng):
+        """Consecutive streams through one buffer merge their stats
+        (the counters are += , matching LHBStats.merge semantics)."""
+        buf = LoadHistoryBuffer(num_entries=16)
+        e = rng.integers(0, 10, size=100, dtype=np.int64)
+        b = np.zeros(100, dtype=np.int64)
+        simulate_lhb_stream(e, b, buf)
+        simulate_lhb_stream(e, b, buf)
+        assert buf.stats.lookups == 200
+
+
+class TestSupport:
+    def test_supported_configurations(self):
+        direct = LoadHistoryBuffer(num_entries=16, assoc=1)
+        oracle = LoadHistoryBuffer(num_entries=None)
+        wide = LoadHistoryBuffer(num_entries=16, assoc=4)
+        assert supports_fast_path(EliminationMode.BASELINE, None)
+        assert supports_fast_path(EliminationMode.BASELINE, wide)
+        assert supports_fast_path(EliminationMode.DUPLO, direct)
+        assert supports_fast_path(EliminationMode.DUPLO, oracle)
+        assert supports_fast_path(EliminationMode.WIR, direct)
+        assert not supports_fast_path(EliminationMode.DUPLO, wide)
+
+    def test_replay_raises_for_set_associative_lhb(self):
+        spec = make_spec()
+        options = SimulationOptions(max_ctas=1)
+        trace = generate_sm_trace(spec, TITAN_V, BASELINE_KERNEL, options)
+        wide = LoadHistoryBuffer(num_entries=16, assoc=4)
+        with pytest.raises(FastPathUnsupported, match="assoc"):
+            replay_trace_fast(
+                trace, spec, TITAN_V, options, EliminationMode.DUPLO, wide
+            )

@@ -50,6 +50,43 @@ def small_specs(draw):
     )
 
 
+@st.composite
+def translation_specs(draw):
+    """Layers for address-translation properties, transposed included.
+
+    Transposed layers exercise the zero-insertion upsampling path: the
+    generator must translate against the *effective* (post-upsampling,
+    unit-stride) geometry, which is where a vectorised rewrite would
+    most plausibly drift from the scalar model.
+    """
+    transposed = draw(st.booleans())
+    h = draw(st.integers(2, 4))
+    w = draw(st.integers(2, 4))
+    stride = draw(st.integers(1, 2))
+    output_pad = draw(st.integers(0, stride - 1)) if transposed else 0
+    pad = draw(st.integers(0, 2))
+    if transposed:
+        eff_h = (h - 1) * stride + 1 + output_pad
+        eff_w = (w - 1) * stride + 1 + output_pad
+    else:
+        eff_h, eff_w = h, w
+    return ConvLayerSpec(
+        name="hyp-t" if transposed else "hyp-f",
+        network="test",
+        batch=draw(st.integers(1, 2)),
+        in_height=h,
+        in_width=w,
+        in_channels=draw(st.integers(1, 2)),
+        num_filters=draw(st.integers(1, 4)),
+        filter_height=draw(st.integers(1, min(3, eff_h + 2 * pad))),
+        filter_width=draw(st.integers(1, min(3, eff_w + 2 * pad))),
+        pad=pad,
+        stride=stride,
+        transposed=transposed,
+        output_pad=output_pad,
+    )
+
+
 # ----------------------------------------------------------------------
 # Forward ground truth
 # ----------------------------------------------------------------------
@@ -135,6 +172,60 @@ def test_ids_equal_iff_same_input_element(spec):
         else:
             ids[pair] = source
     assert len(set(ids.values())) == len(ids)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    translation_specs(),
+    st.integers(0, 3),
+    st.sampled_from([2, 4, 3]),
+    st.integers(0, 2**32 - 1),
+)
+def test_vectorized_translation_matches_scalar(
+    spec, extra_pitch, element_bytes, seed
+):
+    """``generate_for_addresses`` must agree with the scalar
+    ``generate`` on every address — in-workspace, alignment-padding,
+    out-of-range and misaligned alike.  The vectorised path uses
+    shift/mask arithmetic for power-of-two element sizes (and plain
+    division otherwise, hence ``element_bytes=3``); the scalar path is
+    the straightforward divmod model, so agreement pins the rewrite.
+    Specs include padded and transposed (zero-insertion) layers.
+    """
+    n_rows, n_cols = workspace_shape(spec)
+    lda = n_cols + extra_pitch
+    gen = IDGenerator(
+        spec, WORKSPACE_BASE, lda,
+        element_bytes=element_bytes, mode=IDMode.CANONICAL,
+    )
+    span = gen.workspace_end - WORKSPACE_BASE
+    rng = np.random.RandomState(seed)
+    addresses = np.concatenate([
+        # Region edges, one element in/out on each side.
+        WORKSPACE_BASE + np.array([
+            -element_bytes, -1, 0, span - 1, span, span + element_bytes,
+        ]),
+        # Random sample across the region, aligned or not.
+        WORKSPACE_BASE + rng.randint(
+            -2 * element_bytes, span + 2 * element_bytes, size=200
+        ),
+        # Aligned sample: guaranteed to hit the scalar ID arithmetic.
+        WORKSPACE_BASE + element_bytes * rng.randint(
+            0, max(1, span // element_bytes), size=200
+        ),
+    ])
+    ok, batch, element = gen.generate_for_addresses(addresses)
+    for i, addr in enumerate(addresses.tolist()):
+        if gen.contains(addr) and (addr - WORKSPACE_BASE) % element_bytes:
+            # Scalar path raises on misaligned in-region addresses; the
+            # vectorised path must reject them.
+            assert not ok[i]
+            continue
+        g = gen.generate(addr)
+        assert bool(ok[i]) == g.in_workspace, addr
+        if g.in_workspace:
+            assert int(batch[i]) == g.batch_id
+            assert int(element[i]) == g.element_id
 
 
 @settings(max_examples=30, deadline=None)

@@ -138,6 +138,40 @@ class TestInvalidateAndFlush:
         assert buf.invalidate(1, 0)
         assert not buf.access(1, 0, 2).hit
 
+    def test_invalidate_expired_entry_not_counted(self):
+        """A store hitting an already-dead entry must release it
+        without bumping store_invalidations (the register no longer
+        holds the datum, so there is nothing live to invalidate)."""
+        buf = lhb(lifetime=2)
+        buf.access(1, 0, 1)  # seq 1, expires at 3
+        buf.access(2, 0, 2)
+        buf.access(3, 0, 3)  # seq 3: entry for 1 is now dead
+        assert not buf.invalidate(1, 0)
+        assert buf.stats.store_invalidations == 0
+        # The dead entry was still released, not merely skipped.
+        assert all(e.tag[0] != 1 for ways in buf._sets for e in ways)
+
+    def test_invalidate_expired_entry_oracle(self):
+        buf = lhb(num_entries=None, lifetime=2)
+        buf.access(1, 0, 1)
+        buf.access(2, 0, 2)
+        buf.access(3, 0, 3)  # entry for 1 expired
+        assert not buf.invalidate(1, 0)
+        assert buf.stats.store_invalidations == 0
+        assert (1, 0, 0) not in buf._oracle
+
+    def test_invalidate_live_then_expired_mix(self):
+        """Only the live release counts; the later dead one does not."""
+        buf = lhb(lifetime=3)
+        buf.access(1, 0, 1)
+        assert buf.invalidate(1, 0)  # live: counted
+        buf.access(2, 0, 2)
+        buf.access(3, 0, 3)
+        buf.access(4, 0, 4)
+        buf.access(5, 0, 5)  # seq 5: entry for 2 (expires at 5) is dead
+        assert not buf.invalidate(2, 0)
+        assert buf.stats.store_invalidations == 1
+
     def test_flush_clears_everything(self):
         buf = lhb()
         for e in range(8):
@@ -180,6 +214,29 @@ class TestStatsAndMisc:
         buf = LoadHistoryBuffer(num_entries=1024)
         # 42-bit tag + 10-bit register ID per entry.
         assert buf.storage_bits() == 1024 * 52
+
+    def test_tag_bits_fields_are_explicit(self):
+        """22 upper element bits + 10 batch + 10 PID for the paper
+        default; no width is baked into an opaque constant."""
+        buf = LoadHistoryBuffer(num_entries=1024)
+        assert buf.tag_bits() == 42
+        assert buf.tag_bits(element_bits=32, batch_bits=10, pid_bits=10) == 42
+        # Widening the PID field must widen the tag by the same amount.
+        assert buf.tag_bits(pid_bits=16) == 48
+        assert buf.tag_bits(batch_bits=0, pid_bits=0) == 22
+
+    def test_tag_bits_tracks_set_count(self):
+        """More sets imply more index bits and a narrower stored tag."""
+        small = LoadHistoryBuffer(num_entries=16)
+        large = LoadHistoryBuffer(num_entries=1024)
+        assert small.tag_bits() - large.tag_bits() == 6  # 2^10 vs 2^4 sets
+        # Associativity reduces the set count, restoring tag bits.
+        assoc4 = LoadHistoryBuffer(num_entries=1024, assoc=4)
+        assert assoc4.tag_bits() == large.tag_bits() + 2
+
+    def test_tag_bits_oracle_rejected(self):
+        with pytest.raises(ValueError, match="no physical storage"):
+            LoadHistoryBuffer(num_entries=None).tag_bits()
 
     def test_repr_mentions_geometry(self):
         assert "1024" in repr(LoadHistoryBuffer(num_entries=1024))

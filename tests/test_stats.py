@@ -65,6 +65,68 @@ class TestLayerStats:
         assert t.lhb_hits == 10
         assert t.dram_read_bytes == 320
 
+    @pytest.mark.parametrize("factor", [2.5, 0.3, 7 / 3, 1.015625, 13.7])
+    def test_scaled_preserves_accounting_invariants(self, factor):
+        """Regression: counters used to be rounded independently, so a
+        fractional factor could yield ``lhb_hits > lhb_lookups``, a
+        load mix not summing to ``loads_total``, and DRAM bytes that
+        were not a whole number of lines.  Scaling must now preserve
+        every identity the unscaled stats satisfy.
+
+        The counts are chosen so that banker's rounding genuinely
+        disagrees across fields (e.g. 37 * 2.5 and 21 * 2.5 both land
+        on .5), which is exactly where the old code broke.
+        """
+        s = LayerStats(
+            loads_total=58,
+            loads_workspace=37,
+            loads_filter=21,
+            loads_input=0,
+            stores=5,
+            workspace_instructions=9,
+            lhb_lookups=9,
+            lhb_hits=5,
+            eliminated_fragments=20,
+            unique_workspace_ids=4,
+            l1_accesses=38,
+            l1_hits=29,
+            l2_accesses=9,
+            l2_hits=4,
+            dram_read_bytes=5 * 128,
+            dram_write_bytes=5 * 64,
+            breakdown=MemoryBreakdown(lhb=20, l1=29, l2=4, dram=5),
+        )
+        # The fixture itself satisfies the simulator's identities.
+        assert s.loads_workspace + s.loads_filter + s.loads_input == s.loads_total
+        assert s.l1_accesses == s.loads_total - s.eliminated_fragments
+
+        t = s.scaled(factor)
+        assert t.loads_workspace + t.loads_filter + t.loads_input == t.loads_total
+        assert t.lhb_hits <= t.lhb_lookups
+        assert t.unique_workspace_ids <= t.workspace_instructions
+        assert t.eliminated_fragments <= t.loads_total
+        assert t.l1_accesses == (
+            t.loads_total - t.eliminated_fragments - t.breakdown.shared
+        )
+        assert t.l1_hits <= t.l1_accesses
+        assert t.l2_accesses == t.l1_accesses - t.l1_hits
+        assert t.l2_hits <= t.l2_accesses
+        assert t.dram_read_bytes == (t.l2_accesses - t.l2_hits) * 128
+        assert t.dram_write_bytes == t.stores * 64
+        assert t.breakdown.lhb == t.eliminated_fragments
+        assert t.breakdown.l1 == t.l1_hits
+        assert t.breakdown.l2 == t.l2_hits
+        assert t.breakdown.dram == t.l2_accesses - t.l2_hits
+
+    def test_scaled_independent_rounding_would_break(self):
+        """Documents the adversarial case: independently rounding the
+        load mix at factor 2.5 disagrees with the rounded total, so
+        the derived path is doing real work."""
+        parts = round(37 * 2.5) + round(21 * 2.5)
+        assert parts != round(58 * 2.5)
+        s = LayerStats(loads_total=58, loads_workspace=37, loads_filter=21)
+        assert s.scaled(2.5).loads_total == parts
+
     def test_scaled_preserves_rates(self):
         s = LayerStats(
             loads_total=100, lhb_lookups=50, lhb_hits=25,

@@ -145,9 +145,14 @@ class TestDiskBackedTraces:
         spec = make_spec()
         opts = SimulationOptions(max_ctas=1)
         simulate_layer(spec, options=opts)
-        # Truncate every persisted trace, drop memory, re-simulate.
-        for p in (tmp_path / "cache" / "traces").rglob("*.pkl"):
-            p.write_bytes(b"\x80corrupt")
+        # Truncate every persisted trace (npz plus any legacy pickle),
+        # drop memory, re-simulate.
+        corrupted = 0
+        for pattern in ("*.npz", "*.pkl"):
+            for p in (tmp_path / "cache" / "traces").rglob(pattern):
+                p.write_bytes(b"\x80corrupt")
+                corrupted += 1
+        assert corrupted, "no persisted trace artifacts found"
         clear_trace_cache()
         simulate_layer(spec, options=opts)
         assert len(count_generation) == 2
