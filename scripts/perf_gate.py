@@ -1,0 +1,378 @@
+"""CI perf-regression gate over the not-slow benchmark kernel set.
+
+Runs a fixed suite of micro-benchmarks (trace generation, fast-path
+replay, event-path replay, an end-to-end baseline/Duplo pair, and a
+warm-cache sweep rerun), takes the **median over N repeats**, and
+either records a baseline or checks the current build against one.
+
+Record a fresh baseline (after an intentional perf-relevant change)::
+
+    PYTHONPATH=src python scripts/perf_gate.py --record
+
+which writes ``BENCH_<date>.json`` at the repository root — commit it
+together with the change.  Check against the committed baseline (the
+lexicographically newest ``BENCH_*.json``)::
+
+    PYTHONPATH=src python scripts/perf_gate.py --check
+
+The check applies three rules, strictest first:
+
+1. **counters** must match the baseline exactly — they are
+   deterministic model outputs (LHB hits, events replayed), so any
+   drift is a correctness regression, not noise;
+2. **derived ratios** (``fast_path_speedup`` — event replay over fast
+   replay, measured in the same process on the same trace) must stay
+   within ``--tolerance`` (default 25%) of the baseline, because
+   ratios cancel host speed and are comparable across machines;
+3. **absolute medians** must stay under ``baseline * --time-tolerance``
+   (default 3.0x) — a loose catastrophic-regression backstop, since CI
+   runners and developer machines differ widely in absolute speed.
+
+Artifacts: ``--metrics-out`` / ``--manifest-out`` dump the
+:mod:`repro.obs` metrics snapshot and run manifest (the CI perf lane
+uploads both).  See ``docs/OBSERVABILITY.md`` for how to read a
+failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+SCHEMA_VERSION = 1
+DEFAULT_REPEATS = 5
+DEFAULT_TOLERANCE = 0.25
+DEFAULT_TIME_TOLERANCE = 3.0
+
+
+# ----------------------------------------------------------------------
+# Benchmark definitions
+# ----------------------------------------------------------------------
+
+def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
+    """Name → setup() returning ``(timed_fn, counters_fn)``.
+
+    ``setup`` runs once (untimed); ``timed_fn`` is the measured body,
+    repeated N times; ``counters_fn`` extracts the deterministic
+    counters from the last run's return value.
+    """
+    from repro.analysis.sweeps import lhb_size_sweep
+    from repro.conv.workloads import get_layer
+    from repro.gpu.config import BASELINE_KERNEL, SimulationOptions, TITAN_V
+    from repro.gpu.fastpath import replay_trace_fast
+    from repro.gpu.kernel import generate_sm_trace
+    from repro.gpu.ldst import EliminationMode, replay_trace
+    from repro.gpu.simulator import clear_trace_cache, make_lhb, simulate_pair
+    from repro.runtime import DiskCache, SweepExecutor
+
+    yolo_c2 = get_layer("yolo", "C2")
+    gan_tc3 = get_layer("gan", "TC3")
+    replay_options = SimulationOptions(max_ctas=8)
+
+    def trace_gen_setup():
+        options = SimulationOptions(max_ctas=4)
+
+        def run():
+            return generate_sm_trace(yolo_c2, TITAN_V, BASELINE_KERNEL, options)
+
+        def counters(trace):
+            return {
+                "events": int(trace.kind.size),
+                "traced_ctas": int(trace.traced_ctas),
+            }
+
+        return run, counters
+
+    def _replay_setup(replay):
+        trace = generate_sm_trace(
+            yolo_c2, TITAN_V, BASELINE_KERNEL, replay_options
+        )
+
+        def run():
+            lhb = make_lhb(
+                1024,
+                1,
+                replay_options.lhb_lifetime,
+                replay_options.lhb_hashed_index,
+            )
+            return replay(
+                trace, yolo_c2, TITAN_V, replay_options,
+                EliminationMode.DUPLO, lhb,
+            )
+
+        def counters(stats):
+            return {
+                "events": int(trace.kind.size),
+                "lhb_lookups": int(stats.lhb_lookups),
+                "lhb_hits": int(stats.lhb_hits),
+                "eliminated_fragments": int(stats.eliminated_fragments),
+            }
+
+        return run, counters
+
+    def simulate_pair_setup():
+        options = SimulationOptions(max_ctas=2)
+
+        def run():
+            # Trace generation is part of the measured end-to-end cost.
+            clear_trace_cache()
+            return simulate_pair(gan_tc3, lhb_entries=1024, options=options)
+
+        def counters(pair):
+            base, duplo = pair
+            return {
+                "baseline_lhb_hits": int(base.stats.lhb_hits),
+                "duplo_lhb_hits": int(duplo.stats.lhb_hits),
+                "duplo_lhb_lookups": int(duplo.stats.lhb_lookups),
+            }
+
+        return run, counters
+
+    def warm_sweep_setup():
+        import atexit
+        import shutil
+        import tempfile
+
+        options = SimulationOptions(max_ctas=1)
+        layers = [get_layer("resnet", "C2"), get_layer("gan", "C4")]
+        tmp = tempfile.mkdtemp(prefix="perf_gate_cache_")
+        atexit.register(shutil.rmtree, tmp, True)
+        cache = DiskCache(tmp)
+        # Populate once; the timed body is the fully warm rerun.
+        lhb_size_sweep(
+            layers, options=options,
+            executor=SweepExecutor(jobs=1, cache=cache),
+        )
+
+        def run():
+            clear_trace_cache()
+            return lhb_size_sweep(
+                layers, options=options,
+                executor=SweepExecutor(jobs=1, cache=cache),
+            )
+
+        def counters(exp):
+            return {"rows": len(exp.rows)}
+
+        return run, counters
+
+    return {
+        "trace_gen.yolo_c2": trace_gen_setup,
+        "replay_fast.yolo_c2": lambda: _replay_setup(replay_trace_fast),
+        "replay_event.yolo_c2": lambda: _replay_setup(replay_trace),
+        "simulate_pair.gan_tc3": simulate_pair_setup,
+        "sweep.warm_cache": warm_sweep_setup,
+    }
+
+
+def run_suite(repeats: int) -> Dict[str, dict]:
+    results: Dict[str, dict] = {}
+    for name, setup in _bench_suite().items():
+        run, counters = setup()
+        times: List[float] = []
+        last = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            last = run()
+            times.append(time.perf_counter() - t0)
+        results[name] = {
+            "median_s": round(statistics.median(times), 5),
+            "min_s": round(min(times), 5),
+            "counters": counters(last),
+        }
+        print(
+            f"  {name:28s} median {results[name]['median_s']:.4f}s "
+            f"(min {results[name]['min_s']:.4f}s)"
+        )
+    return results
+
+
+def derived_ratios(benchmarks: Dict[str, dict]) -> Dict[str, float]:
+    ratios: Dict[str, float] = {}
+    fast = benchmarks.get("replay_fast.yolo_c2", {}).get("median_s")
+    event = benchmarks.get("replay_event.yolo_c2", {}).get("median_s")
+    if fast and event:
+        ratios["fast_path_speedup"] = round(event / fast, 2)
+    return ratios
+
+
+def build_report(repeats: int) -> dict:
+    from repro.obs.manifest import git_revision, host_fingerprint
+
+    print(f"running perf suite ({repeats} repeats per benchmark)...")
+    benchmarks = run_suite(repeats)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "duplo-perf-baseline",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "repeats": repeats,
+        "host": host_fingerprint(),
+        "git": git_revision(REPO_ROOT),
+        "benchmarks": benchmarks,
+        "derived": derived_ratios(benchmarks),
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+
+def find_baseline(path: Optional[str]) -> str:
+    if path:
+        return path
+    candidates = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    if not candidates:
+        raise SystemExit(
+            "no BENCH_*.json baseline found; record one with --record"
+        )
+    return candidates[-1]
+
+
+def check_against(
+    report: dict,
+    baseline: dict,
+    tolerance: float,
+    time_tolerance: float,
+) -> List[str]:
+    """Compare a fresh report to the baseline; returns failure lines."""
+    failures: List[str] = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, current in report["benchmarks"].items():
+        ref = base_benchmarks.get(name)
+        if ref is None:
+            print(f"  {name}: no baseline entry (new benchmark) — skipped")
+            continue
+        for key, expected in ref.get("counters", {}).items():
+            got = current["counters"].get(key)
+            if got != expected:
+                failures.append(
+                    f"counter drift in {name}: {key} = {got}, "
+                    f"baseline {expected} (deterministic — investigate "
+                    "a model/behavior change, not noise)"
+                )
+        limit = ref["median_s"] * time_tolerance
+        if current["median_s"] > limit:
+            failures.append(
+                f"time regression in {name}: median {current['median_s']:.4f}s "
+                f"> {limit:.4f}s ({time_tolerance:.1f}x baseline "
+                f"{ref['median_s']:.4f}s)"
+            )
+    for name, expected in baseline.get("derived", {}).items():
+        got = report["derived"].get(name)
+        if got is None:
+            continue
+        floor = expected * (1.0 - tolerance)
+        if got < floor:
+            failures.append(
+                f"ratio regression: {name} = {got:.2f}, below "
+                f"{floor:.2f} (baseline {expected:.2f} - {tolerance:.0%})"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record or check the perf-regression baseline"
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--record", action="store_true",
+        help="run the suite and write a BENCH_<date>.json baseline",
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="run the suite and compare against the committed baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline path (default: newest BENCH_*.json in repo root)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path for --record (default BENCH_<date>.json)",
+    )
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional drop in derived ratios (default 0.25)",
+    )
+    parser.add_argument(
+        "--time-tolerance", type=float, default=DEFAULT_TIME_TOLERANCE,
+        help="allowed multiple of baseline median seconds (default 3.0)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="also write the repro.obs metrics snapshot as JSON",
+    )
+    parser.add_argument(
+        "--manifest-out", default=None,
+        help="also write a run manifest next to the gate output",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import obs
+
+    if args.metrics_out or args.manifest_out:
+        obs.enable()
+        obs.reset()
+    with obs.span("perf_gate", mode="record" if args.record else "check"):
+        report = build_report(args.repeats)
+
+    if args.metrics_out:
+        payload = {"schema_version": 1, "command": "perf_gate"}
+        payload.update(obs.snapshot())
+        with open(args.metrics_out, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if args.manifest_out:
+        obs.collect_manifest("perf_gate", argv=sys.argv).write(
+            args.manifest_out
+        )
+
+    if args.record:
+        out = args.out or os.path.join(
+            REPO_ROOT, time.strftime("BENCH_%Y-%m-%d.json", time.gmtime())
+        )
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written: {out}")
+        return 0
+
+    baseline_path = find_baseline(args.baseline)
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    print(f"checking against {baseline_path}")
+    failures = check_against(
+        report, baseline, args.tolerance, args.time_tolerance
+    )
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        print(
+            "\nIf the regression is intentional, refresh the baseline "
+            "(scripts/perf_gate.py --record) and commit the new "
+            "BENCH_*.json; see docs/OBSERVABILITY.md."
+        )
+        return 1
+    print("perf gate OK: counters exact, ratios and medians within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,12 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.analysis import experiments as exp_mod
 from repro.analysis.report import format_experiment, format_table
 from repro.conv.workloads import ALL_LAYERS, get_layer
@@ -75,6 +78,30 @@ def _options(args: argparse.Namespace, **overrides) -> SimulationOptions:
         max_ctas=args.max_ctas,
         fast_path=getattr(args, "fast_path", "auto"),
         **overrides,
+    )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability knobs, shared by every subcommand."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the nested phase-span tree as JSON",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the counter/gauge registry snapshot as JSON",
+    )
+    group.add_argument(
+        "--manifest-out", default=None, metavar="PATH",
+        help="write the run manifest (git SHA, versions, options, "
+        "cache stats, phase timings, peak RSS); defaults to "
+        "<metrics/trace-out>.manifest.json when either is given",
+    )
+    group.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="configure stdlib logging for the repro.* loggers",
     )
 
 
@@ -239,7 +266,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cached artifact(s) from {cache.root}")
         return 0
     s = cache.stats()
-    print(f"cache root:    {s.root}")
+    note = "" if cache.root.is_dir() else "  (empty — not created yet)"
+    print(f"cache root:    {s.root}{note}")
     print(f"trace files:   {s.trace_files}")
     print(f"result files:  {s.result_files}")
     print(f"disk bytes:    {s.disk_bytes:,}")
@@ -253,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("layers", help="print Table I with GEMM geometry")
+    layers = sub.add_parser("layers", help="print Table I with GEMM geometry")
 
     sim = sub.add_parser("simulate", help="simulate one layer")
     sim.add_argument("network", choices=["resnet", "gan", "yolo"])
@@ -304,7 +332,64 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--max-ctas", type=int, default=2)
     _add_fast_path_flag(net)
 
+    for command in (layers, sim, exp, cal, cache, ins, net):
+        _add_obs_flags(command)
+
     return parser
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return any(
+        getattr(args, name, None)
+        for name in ("trace_out", "metrics_out", "manifest_out")
+    )
+
+
+def _manifest_path(args: argparse.Namespace) -> Optional[Path]:
+    """Explicit ``--manifest-out``, else next to the metrics/trace file."""
+    if getattr(args, "manifest_out", None):
+        return Path(args.manifest_out)
+    for name in ("metrics_out", "trace_out"):
+        value = getattr(args, name, None)
+        if value:
+            p = Path(value)
+            return p.with_name(p.stem + ".manifest.json")
+    return None
+
+
+def _write_obs_outputs(args: argparse.Namespace) -> None:
+    """Serialize the span tree, metrics snapshot, and run manifest."""
+    if getattr(args, "trace_out", None):
+        payload = {"schema_version": 1, "command": args.command}
+        payload.update(obs.tree())
+        Path(args.trace_out).write_text(
+            json.dumps(payload, indent=1) + "\n"
+        )
+    if getattr(args, "metrics_out", None):
+        payload = {"schema_version": 1, "command": args.command}
+        payload.update(obs.snapshot())
+        Path(args.metrics_out).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+    manifest_path = _manifest_path(args)
+    if manifest_path is not None:
+        options = (
+            _options(args) if hasattr(args, "max_ctas") else None
+        )
+        cache = None
+        if hasattr(args, "no_cache") and not args.no_cache:
+            from repro.runtime import DiskCache
+
+            cache = (
+                DiskCache(args.cache_dir) if args.cache_dir else DiskCache()
+            )
+        manifest = obs.collect_manifest(
+            args.command,
+            argv=list(sys.argv),
+            options=options,
+            cache=cache,
+        )
+        manifest.write(str(manifest_path))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -318,7 +403,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "inspect": _cmd_inspect,
         "cache": _cmd_cache,
     }
-    return handlers[args.command](args)
+    if getattr(args, "log_level", None):
+        obs.configure_logging(args.log_level)
+    requested = _obs_requested(args)
+    if requested:
+        obs.enable()
+        obs.reset()
+    try:
+        with obs.span("cli", command=args.command):
+            status = handlers[args.command](args)
+        if requested:
+            _write_obs_outputs(args)
+    finally:
+        if requested:
+            obs.disable()
+    return status
 
 
 if __name__ == "__main__":

@@ -56,6 +56,22 @@ class LHBStats:
             return 0.0
         return self.hits / self.lookups
 
+    def publish(self, add, prefix: str = "lhb.raw.") -> None:
+        """Report every counter through ``add(name, delta)``.
+
+        ``add`` is typically :func:`repro.obs.add`; the simulator calls
+        this after each replay so ``--metrics-out`` carries the
+        buffer's own (traced-prefix) counters alongside the scaled
+        ``sim.lhb.*`` aggregates.
+        """
+        add(prefix + "lookups", self.lookups)
+        add(prefix + "hits", self.hits)
+        add(prefix + "misses", self.misses)
+        add(prefix + "compulsory_misses", self.compulsory_misses)
+        add(prefix + "conflict_replacements", self.conflict_replacements)
+        add(prefix + "expired_misses", self.expired_misses)
+        add(prefix + "store_invalidations", self.store_invalidations)
+
     def merge(self, other: "LHBStats") -> "LHBStats":
         """Aggregate counters across SMs or layers."""
         return LHBStats(

@@ -44,6 +44,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.conv.layer import ConvLayerSpec
 from repro.core.lhb import LoadHistoryBuffer
 from repro.gpu.cache import SetAssociativeCache
@@ -371,6 +372,8 @@ def replay_trace_fast(
             f"set-associative LHB (assoc={lhb.assoc}) has no vectorised "
             "recurrence; use the event-level replay"
         )
+    obs.add("fastpath.replays")
+    obs.add("fastpath.events", int(trace.kind.size))
 
     l2_capacity = gpu.l2_bytes
     if l2_share_sms is not None:

@@ -20,11 +20,13 @@ up so traces survive across runs.
 
 from __future__ import annotations
 
+import logging
 import os
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.conv.layer import ConvLayerSpec
 from repro.core.lhb import LoadHistoryBuffer
 from repro.gpu.config import (
@@ -50,6 +52,8 @@ from repro.gpu.timing import TimingModel
 #: implementation without rebuilding options objects (the CI
 #: equivalence lanes use exactly this).
 FAST_PATH_ENV = "REPRO_FAST_PATH"
+
+_log = logging.getLogger(__name__)
 
 _trace_cache: "OrderedDict[Tuple, KernelTrace]" = OrderedDict()
 _TRACE_CACHE_LIMIT = 64
@@ -114,17 +118,26 @@ def _get_trace(
     trace = _trace_cache.get(key)
     if trace is not None:
         _trace_cache.move_to_end(key)
+        obs.add("sim.trace.lru_hits")
         return trace
     if _trace_store is not None:
         from repro.runtime.cachekey import trace_key
 
         digest = trace_key(spec, gpu, kernel, options)
-        trace = _trace_store.get_trace(digest)
+        with obs.span("sim.trace.store_get", layer=spec.qualified_name):
+            trace = _trace_store.get_trace(digest)
         if trace is None:
-            trace = generate_sm_trace(spec, gpu, kernel, options)
-            _trace_store.put_trace(digest, trace)
+            with obs.span("sim.trace.generate", layer=spec.qualified_name):
+                trace = generate_sm_trace(spec, gpu, kernel, options)
+            obs.add("sim.trace.generated")
+            with obs.span("sim.trace.store_put", layer=spec.qualified_name):
+                _trace_store.put_trace(digest, trace)
+        else:
+            obs.add("sim.trace.store_hits")
     else:
-        trace = generate_sm_trace(spec, gpu, kernel, options)
+        with obs.span("sim.trace.generate", layer=spec.qualified_name):
+            trace = generate_sm_trace(spec, gpu, kernel, options)
+        obs.add("sim.trace.generated")
     while len(_trace_cache) >= _TRACE_CACHE_LIMIT:
         _trace_cache.popitem(last=False)
     _trace_cache[key] = trace
@@ -183,6 +196,44 @@ def make_lhb(
     )
 
 
+def _record_layer_metrics(
+    spec: ConvLayerSpec,
+    mode: EliminationMode,
+    trace: KernelTrace,
+    full_stats: LayerStats,
+    lhb: Optional[LoadHistoryBuffer],
+) -> None:
+    """Report one simulated layer into the metrics registry.
+
+    The ``sim.lhb.*`` counters accumulate the *same* ``LayerStats``
+    fields the run returns (full-layer extrapolation), so for a
+    single-layer run ``--metrics-out`` matches ``result.stats``
+    exactly; ``lhb.raw.*`` are the buffer's own (unscaled, traced
+    prefix) counters published by :meth:`~repro.core.lhb.LHBStats`.
+    """
+    obs.add("sim.layers_simulated")
+    obs.add("sim.events_replayed", int(trace.kind.size))
+    obs.add("sim.lhb.lookups", full_stats.lhb_lookups)
+    obs.add("sim.lhb.hits", full_stats.lhb_hits)
+    obs.add("sim.lhb.renames", full_stats.lhb_hits)
+    obs.add("sim.eliminated_fragments", full_stats.eliminated_fragments)
+    obs.add("sim.l1.accesses", full_stats.l1_accesses)
+    obs.add("sim.l1.hits", full_stats.l1_hits)
+    obs.add("sim.l2.accesses", full_stats.l2_accesses)
+    obs.add("sim.l2.hits", full_stats.l2_hits)
+    obs.add("sim.dram.read_bytes", full_stats.dram_read_bytes)
+    obs.add("sim.dram.write_bytes", full_stats.dram_write_bytes)
+    if lhb is not None:
+        lhb.stats.publish(obs.add)
+    _log.debug(
+        "simulated %s mode=%s events=%d lhb_hit_rate=%.3f",
+        spec.qualified_name,
+        mode.value,
+        int(trace.kind.size),
+        full_stats.lhb_hit_rate,
+    )
+
+
 def simulate_layer(
     spec: ConvLayerSpec,
     mode: EliminationMode = EliminationMode.DUPLO,
@@ -200,16 +251,25 @@ def simulate_layer(
     retirement (Section V-C).  ``mode=BASELINE`` ignores the LHB
     arguments.
     """
-    trace = _get_trace(spec, gpu, kernel, options)
-    lhb = None
-    if mode is not EliminationMode.BASELINE:
-        lhb = make_lhb(
-            lhb_entries, lhb_assoc, options.lhb_lifetime, options.lhb_hashed_index
-        )
-    if _resolve_fast_path(options, mode, lhb):
-        sm_traced = replay_trace_fast(trace, spec, gpu, options, mode, lhb)
-    else:
-        sm_traced = replay_trace(trace, spec, gpu, options, mode, lhb)
+    layer_span = obs.span(
+        "sim.layer", layer=spec.qualified_name, mode=mode.value
+    )
+    with layer_span:
+        trace = _get_trace(spec, gpu, kernel, options)
+        lhb = None
+        if mode is not EliminationMode.BASELINE:
+            lhb = make_lhb(
+                lhb_entries, lhb_assoc, options.lhb_lifetime,
+                options.lhb_hashed_index,
+            )
+        if _resolve_fast_path(options, mode, lhb):
+            with obs.span("sim.replay.fast", layer=spec.qualified_name):
+                sm_traced = replay_trace_fast(
+                    trace, spec, gpu, options, mode, lhb
+                )
+        else:
+            with obs.span("sim.replay.event", layer=spec.qualified_name):
+                sm_traced = replay_trace(trace, spec, gpu, options, mode, lhb)
 
     # Extrapolate the traced prefix to the SM's full CTA assignment,
     # then to the whole grid.
@@ -225,6 +285,9 @@ def simulate_layer(
     full_stats = sm_traced.scaled(grid_scale)
     full_stats.cycles = cycles
     full_stats.cycle_components = comps
+
+    if obs.enabled():
+        _record_layer_metrics(spec, mode, trace, full_stats, lhb)
 
     return LayerResult(
         spec=spec,

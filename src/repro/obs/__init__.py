@@ -1,0 +1,103 @@
+"""``repro.obs`` — spans, metrics, run manifests, logging config.
+
+The observability layer the simulator, cache hierarchy, LHB, sweep
+runtime, and disk store report into.  Three pieces:
+
+* :func:`span` — nested wall-clock phase tracing into a
+  process-global, thread-safe tree (:mod:`repro.obs.trace`);
+* :func:`add` / :func:`gauge` / :class:`MetricsRegistry` — counters
+  and gauges (:mod:`repro.obs.metrics`);
+* :class:`RunManifest` / :func:`collect_manifest` — the run-identity
+  document written next to every instrumented invocation
+  (:mod:`repro.obs.manifest`).
+
+Everything is a no-op until :func:`enable` is called (or
+``REPRO_OBS=1`` is exported): the disabled fast path is a module-level
+flag test, which keeps the simulator's measured overhead below the 2%
+budget.  ``repro.runtime.executor`` ships worker-process state back to
+the parent via :func:`export_state` / :func:`merge_state`.
+
+See ``docs/OBSERVABILITY.md`` for naming conventions and schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.obs.logcfg import configure_logging
+from repro.obs.manifest import RunManifest, collect_manifest, peak_rss_bytes
+from repro.obs.metrics import (
+    MetricsRegistry,
+    add,
+    export_metrics,
+    gauge,
+    merge_metrics,
+    registry,
+    snapshot,
+)
+from repro.obs.state import OBS_ENV, disable, enable, enabled
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    export_spans,
+    merge_spans,
+    phase_timings,
+    span,
+    tree,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "OBS_ENV",
+    "RunManifest",
+    "Span",
+    "add",
+    "collect_manifest",
+    "configure_logging",
+    "disable",
+    "enable",
+    "enabled",
+    "export_metrics",
+    "export_spans",
+    "export_state",
+    "gauge",
+    "merge_metrics",
+    "merge_spans",
+    "merge_state",
+    "peak_rss_bytes",
+    "phase_timings",
+    "registry",
+    "reset",
+    "snapshot",
+    "span",
+    "tree",
+]
+
+
+def reset() -> None:
+    """Clear recorded spans and metrics (the enable flag is kept)."""
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+
+    _metrics.reset()
+    _trace.reset()
+
+
+def export_state() -> Dict[str, Any]:
+    """Snapshot this process's spans + metrics for transport."""
+    return {"spans": export_spans(), "metrics": export_metrics()}
+
+
+def merge_state(payload: Dict[str, Any], **span_attrs: Any) -> None:
+    """Fold a worker's :func:`export_state` payload into this process.
+
+    Metrics counters add; the worker's span forest is grouped under
+    one ``executor.worker`` span tagged with ``span_attrs``.
+    """
+    if not payload:
+        return
+    merge_metrics(payload.get("metrics", {}))
+    merge_spans(
+        payload.get("spans", []), under="executor.worker", **span_attrs
+    )

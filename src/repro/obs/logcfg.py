@@ -1,0 +1,45 @@
+"""Stdlib ``logging`` configuration for the repro CLI and scripts.
+
+All repro modules log through child loggers of the ``repro`` root
+(``logging.getLogger("repro.runtime.executor")`` etc.) and never call
+``basicConfig`` themselves, so embedding applications keep full
+control.  The CLI's ``--log-level`` flag routes here.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional, Union
+
+#: Format mirrors the span naming scheme: time, level, dotted module.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def configure_logging(
+    level: Union[int, str, None] = None,
+    stream=None,
+) -> Optional[logging.Handler]:
+    """Attach one stream handler to the ``repro`` logger tree.
+
+    ``level`` accepts the usual names (case-insensitive) or numeric
+    levels; ``None`` leaves logging untouched (the library default —
+    silent unless the host application configured handlers).  Returns
+    the handler so tests can detach it.
+    """
+    if level is None:
+        return None
+    if isinstance(level, str):
+        name = level.strip().lower()
+        if name not in _LEVELS:
+            raise ValueError(
+                f"log level must be one of {_LEVELS}, got {level!r}"
+            )
+        level = getattr(logging, name.upper())
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

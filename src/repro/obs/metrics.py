@@ -1,0 +1,116 @@
+"""Counter/gauge registry the instrumented modules report into.
+
+Two metric kinds, both named with dotted lower-case paths (see
+``docs/OBSERVABILITY.md`` for the naming scheme):
+
+* **counters** — monotonically accumulated integers (events replayed,
+  LHB hits, cache hits, bytes written).  :func:`add` folds a delta in.
+* **gauges** — last-write-wins floats (worker utilization, hit ratios,
+  speedups).  :func:`gauge` sets the value.
+
+The module-level registry is process-global and lock-protected, so
+concurrent threads can report safely.  Worker processes snapshot
+theirs with :func:`export_metrics` and the parent folds the payload in
+with :func:`merge_metrics` — counters add, gauges are imported under
+the worker's namespace only if names collide (last write wins
+otherwise), which keeps e.g. per-worker busy-time gauges intact.
+
+Every entry point early-outs on the :mod:`repro.obs.state` flag, so
+with instrumentation disabled a call costs one boolean test.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+from repro.obs import state
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Thread-safe counters + gauges with snapshot/merge support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    def add(self, name: str, delta: int = 1) -> None:
+        """Accumulate ``delta`` into counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(delta)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never written)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict[str, Number]]:
+        """JSON-serializable copy: ``{"counters": ..., "gauges": ...}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+            }
+
+    def merge(self, payload: Dict[str, Dict[str, Number]]) -> None:
+        """Fold an exported snapshot in: counters add, gauges overwrite."""
+        counters = payload.get("counters", {})
+        gauges = payload.get("gauges", {})
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in gauges.items():
+                self._gauges[name] = float(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry (always available, even disabled)."""
+    return _REGISTRY
+
+
+def add(name: str, delta: int = 1) -> None:
+    """Accumulate into a global counter; no-op while disabled."""
+    if state.enabled():
+        _REGISTRY.add(name, delta)
+
+
+def gauge(name: str, value: Number) -> None:
+    """Set a global gauge; no-op while disabled."""
+    if state.enabled():
+        _REGISTRY.gauge(name, value)
+
+
+def snapshot() -> Dict[str, Dict[str, Number]]:
+    """Copy of the global registry's state."""
+    return _REGISTRY.snapshot()
+
+
+def export_metrics() -> Dict[str, Dict[str, Number]]:
+    """Alias of :func:`snapshot` (worker → parent transport)."""
+    return _REGISTRY.snapshot()
+
+
+def merge_metrics(payload: Dict[str, Dict[str, Number]]) -> None:
+    """Fold a worker's exported snapshot into the global registry."""
+    _REGISTRY.merge(payload)
+
+
+def reset() -> None:
+    """Clear the global registry."""
+    _REGISTRY.reset()

@@ -1,0 +1,203 @@
+"""Nested wall-clock phase tracing.
+
+:func:`span` is a context manager recording one named phase::
+
+    with obs.span("sim.layer", layer="yolo/C2", mode="duplo"):
+        ...
+
+Spans nest: a span opened while another is active becomes its child,
+so a run produces a forest of phase trees (one root per top-level
+phase).  Each thread keeps its own open-span stack (``threading.local``)
+and finished roots are appended to a process-global list under a lock,
+which makes recording safe from concurrent threads; worker *processes*
+serialize their forest with :func:`export_spans` and the parent folds
+it back in with :func:`merge_spans` (see
+:mod:`repro.runtime.executor`).
+
+When instrumentation is disabled (:mod:`repro.obs.state`) ``span``
+returns a shared singleton whose ``__enter__``/``__exit__`` do
+nothing — the hot-path cost is one flag test and one attribute call.
+
+Serialized form (``tree()``)::
+
+    {"spans": [{"name": ..., "attrs": {...}, "start": t0,
+                "duration_s": dt, "children": [...]}, ...]}
+
+``start`` is seconds since the process-local ``time.perf_counter``
+epoch and is only meaningful for ordering/nesting within one process;
+``duration_s`` is the quantity the manifest and perf gate consume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import state
+
+JsonDict = Dict[str, Any]
+
+
+class Span:
+    """One recorded phase: name, attributes, wall-clock, children."""
+
+    __slots__ = ("name", "attrs", "start", "duration_s", "children")
+
+    def __init__(self, name: str, attrs: Optional[JsonDict] = None):
+        self.name = name
+        self.attrs: JsonDict = attrs or {}
+        self.start: float = 0.0
+        self.duration_s: float = 0.0
+        self.children: List["Span"] = []
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to an open span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        _stack().append(self)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.duration_s = time.perf_counter() - self.start
+        stack = _stack()
+        # Tolerate exits out of order (a span closed from a different
+        # thread than it was opened on records as its own root).
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            with _LOCK:
+                _ROOTS.append(self)
+        return False
+
+    def as_dict(self) -> JsonDict:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start": self.start,
+            "duration_s": self.duration_s,
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    @staticmethod
+    def from_dict(payload: JsonDict) -> "Span":
+        span = Span(str(payload["name"]), dict(payload.get("attrs", {})))
+        span.start = float(payload.get("start", 0.0))
+        span.duration_s = float(payload.get("duration_s", 0.0))
+        span.children = [
+            Span.from_dict(c) for c in payload.get("children", [])
+        ]
+        return span
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while instrumentation is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+_LOCK = threading.Lock()
+_ROOTS: List[Span] = []
+_LOCAL = threading.local()
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+def span(name: str, **attrs: Any):
+    """Open a phase span (no-op singleton when disabled)."""
+    if not state.enabled():
+        return NULL_SPAN
+    return Span(name, attrs or None)
+
+
+def tree() -> JsonDict:
+    """The finished span forest, JSON-serializable."""
+    with _LOCK:
+        roots = list(_ROOTS)
+    return {"spans": [r.as_dict() for r in roots]}
+
+
+def reset() -> None:
+    """Drop all finished spans and this thread's open-span stack.
+
+    Clearing the stack matters under ``fork``: a worker process
+    inherits the parent's open spans (e.g. ``executor.run_chunks``),
+    and without the reset every span the worker records would attach
+    to that phantom parent instead of becoming an exportable root.
+    """
+    with _LOCK:
+        _ROOTS.clear()
+    _LOCAL.stack = []
+
+
+def export_spans() -> List[JsonDict]:
+    """Finished roots in serialized form (worker → parent transport)."""
+    return tree()["spans"]
+
+
+def merge_spans(
+    spans: List[JsonDict], under: Optional[str] = None, **attrs: Any
+) -> None:
+    """Fold a worker's exported forest into this process's trace.
+
+    With ``under`` set, the imported roots are grouped beneath one
+    synthetic span of that name (attributes identify the worker), so
+    per-chunk spans from N processes stay distinguishable.
+    """
+    imported = [Span.from_dict(p) for p in spans]
+    if not imported:
+        return
+    if under is not None:
+        group = Span(under, attrs or None)
+        group.start = min(s.start for s in imported)
+        group.duration_s = sum(s.duration_s for s in imported)
+        group.children = imported
+        imported = [group]
+    with _LOCK:
+        _ROOTS.extend(imported)
+
+
+def phase_timings() -> Dict[str, Dict[str, float]]:
+    """Aggregate seconds/call-count per span name over the whole forest.
+
+    The flat view the run manifest embeds: ``{name: {"total_s": ...,
+    "count": ...}}``, children included.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+
+    def visit(span_: Span) -> None:
+        agg = totals.setdefault(span_.name, {"total_s": 0.0, "count": 0})
+        agg["total_s"] += span_.duration_s
+        agg["count"] += 1
+        for child in span_.children:
+            visit(child)
+
+    with _LOCK:
+        roots = list(_ROOTS)
+    for root in roots:
+        visit(root)
+    for agg in totals.values():
+        agg["total_s"] = round(agg["total_s"], 6)
+    return totals

@@ -21,10 +21,14 @@ platforms without ``fork`` the executor falls back to ``spawn``.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.conv.layer import ConvLayerSpec
 from repro.gpu.config import (
     BASELINE_KERNEL,
@@ -95,10 +99,12 @@ def simulate_point(point: SimPoint, cache: Optional[DiskCache] = None):
 # Worker-process plumbing
 # ----------------------------------------------------------------------
 
+_log = logging.getLogger(__name__)
+
 _worker_cache: Optional[DiskCache] = None
 
 
-def _init_worker(cache_root: Optional[str]) -> None:
+def _init_worker(cache_root: Optional[str], obs_enabled: bool = False) -> None:
     """Pool initializer: open the shared store, hook the trace cache."""
     global _worker_cache
     from repro.gpu import simulator
@@ -108,12 +114,35 @@ def _init_worker(cache_root: Optional[str]) -> None:
         simulator.set_trace_store(_worker_cache)
     else:
         _worker_cache = None
+    if obs_enabled:
+        # Start from a clean slate: under ``fork`` the child inherits
+        # the parent's recorded state, which must not be shipped back
+        # (the parent already holds it — merging would double-count).
+        obs.enable()
+        obs.reset()
 
 
 def _run_chunk(job):
-    """Worker body: one layer's points, sequentially (trace reuse)."""
+    """Worker body: one layer's points, sequentially (trace reuse).
+
+    Returns ``(index, results, payload)`` where ``payload`` is the
+    chunk's instrumentation delta (spans + metrics recorded while the
+    chunk ran) or ``None`` when observability is off.  The recorded
+    state is reset after export so a worker serving many chunks ships
+    each delta exactly once.
+    """
     index, points = job
-    return index, [simulate_point(p, _worker_cache) for p in points]
+    if not obs.enabled():
+        return index, [simulate_point(p, _worker_cache) for p in points], None
+    t0 = time.perf_counter()
+    layer = points[0].spec.qualified_name if points else "?"
+    with obs.span("executor.chunk", layer=layer, points=len(points)):
+        results = [simulate_point(p, _worker_cache) for p in points]
+    payload = obs.export_state()
+    payload["busy_s"] = time.perf_counter() - t0
+    payload["pid"] = os.getpid()
+    obs.reset()
+    return index, results, payload
 
 
 class SweepExecutor:
@@ -150,51 +179,95 @@ class SweepExecutor:
 
         chunks = [list(c) for c in chunks]
         results: dict = {}
+        sweep_span = obs.span(
+            "executor.run_chunks",
+            chunks=len(chunks),
+            points=sum(len(c) for c in chunks),
+            jobs=self.jobs,
+        )
+        t0 = time.perf_counter()
 
-        # Warm-path prefilter: points already on disk never reach a
-        # worker, so a fully cached rerun costs no process dispatch.
-        pending: List[tuple] = []
-        for ci, chunk in enumerate(chunks):
-            missing = []
-            for pi, point in enumerate(chunk):
-                hit = (
-                    self.cache.get_result(point.cache_key())
-                    if self.cache is not None
-                    else None
-                )
-                if hit is not None:
-                    results[(ci, pi)] = hit
-                else:
-                    missing.append((pi, point))
-            if missing:
-                pending.append((ci, missing))
+        with sweep_span:
+            # Warm-path prefilter: points already on disk never reach a
+            # worker, so a fully cached rerun costs no process dispatch.
+            pending: List[tuple] = []
+            for ci, chunk in enumerate(chunks):
+                missing = []
+                for pi, point in enumerate(chunk):
+                    hit = (
+                        self.cache.get_result(point.cache_key())
+                        if self.cache is not None
+                        else None
+                    )
+                    if hit is not None:
+                        results[(ci, pi)] = hit
+                    else:
+                        missing.append((pi, point))
+                if missing:
+                    pending.append((ci, missing))
+            obs.add("executor.chunks", len(chunks))
+            obs.add("executor.points", sum(len(c) for c in chunks))
+            obs.add("executor.prefilter_hits", len(results))
+            _log.info(
+                "sweep: %d chunk(s), %d point(s), %d cached, jobs=%d",
+                len(chunks),
+                sum(len(c) for c in chunks),
+                len(results),
+                self.jobs,
+            )
 
-        if pending and (self.jobs == 1 or len(pending) == 1):
-            # Inline path: persist traces through the same store the
-            # workers would use, restoring the previous hook after.
-            prev = simulator.get_trace_store()
-            if self.cache is not None:
-                simulator.set_trace_store(self.cache)
-            try:
-                for ci, missing in pending:
-                    for pi, point in missing:
-                        results[(ci, pi)] = simulate_point(point, self.cache)
-            finally:
+            if pending and (self.jobs == 1 or len(pending) == 1):
+                # Inline path: persist traces through the same store the
+                # workers would use, restoring the previous hook after.
+                prev = simulator.get_trace_store()
                 if self.cache is not None:
-                    simulator.set_trace_store(prev)
-        elif pending:
-            ctx = self._context()
-            root = str(self.cache.root) if self.cache is not None else None
-            jobs = [(ci, [p for _, p in missing]) for ci, missing in pending]
-            by_index = dict(pending)
-            with ctx.Pool(
-                processes=min(self.jobs, len(pending)),
-                initializer=_init_worker,
-                initargs=(root,),
-            ) as pool:
-                for ci, outs in pool.imap_unordered(_run_chunk, jobs):
-                    for (pi, _), result in zip(by_index[ci], outs):
-                        results[(ci, pi)] = result
+                    simulator.set_trace_store(self.cache)
+                try:
+                    for ci, missing in pending:
+                        layer = missing[0][1].spec.qualified_name
+                        with obs.span(
+                            "executor.chunk", layer=layer,
+                            points=len(missing), inline=True,
+                        ):
+                            for pi, point in missing:
+                                results[(ci, pi)] = simulate_point(
+                                    point, self.cache
+                                )
+                finally:
+                    if self.cache is not None:
+                        simulator.set_trace_store(prev)
+            elif pending:
+                ctx = self._context()
+                root = str(self.cache.root) if self.cache is not None else None
+                jobs = [
+                    (ci, [p for _, p in missing]) for ci, missing in pending
+                ]
+                by_index = dict(pending)
+                nprocs = min(self.jobs, len(pending))
+                busy_s = 0.0
+                with ctx.Pool(
+                    processes=nprocs,
+                    initializer=_init_worker,
+                    initargs=(root, obs.enabled()),
+                ) as pool:
+                    for ci, outs, payload in pool.imap_unordered(
+                        _run_chunk, jobs
+                    ):
+                        for (pi, _), result in zip(by_index[ci], outs):
+                            results[(ci, pi)] = result
+                        if payload is not None:
+                            busy_s += payload.pop("busy_s", 0.0)
+                            obs.merge_state(
+                                payload,
+                                pid=payload.pop("pid", None),
+                                chunk=ci,
+                            )
+                if obs.enabled():
+                    wall = time.perf_counter() - t0
+                    obs.gauge(
+                        "executor.worker_utilization",
+                        busy_s / (wall * nprocs) if wall > 0 else 0.0,
+                    )
 
         return [
             [results[(ci, pi)] for pi in range(len(chunk))]

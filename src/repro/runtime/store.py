@@ -28,12 +28,17 @@ explicitly so tests can point them at temporary directories.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
+
+from repro import obs
+
+_log = logging.getLogger(__name__)
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -151,23 +156,51 @@ class DiskCache:
             trace = self._get("traces", key)
         if trace is None:
             self._stats.trace_misses += 1
+            obs.add("store.trace_misses")
         else:
             self._stats.trace_hits += 1
+            obs.add("store.trace_hits")
+            if obs.enabled():
+                obs.add("store.npz_bytes_read", self._artifact_bytes(
+                    "traces", key))
         return trace
 
     def put_trace(self, key: str, trace) -> None:
         self._put_trace_npz(key, trace)
+        obs.add("store.trace_puts")
+        if obs.enabled():
+            obs.add("store.npz_bytes_written", self._artifact_bytes(
+                "traces", key))
+            _log.debug("stored trace %s", key[:12])
 
     def get_result(self, key: str):
         result = self._get("results", key)
         if result is None:
             self._stats.result_misses += 1
+            obs.add("store.result_misses")
         else:
             self._stats.result_hits += 1
+            obs.add("store.result_hits")
+            if obs.enabled():
+                obs.add("store.result_bytes_read", self._artifact_bytes(
+                    "results", key))
         return result
 
     def put_result(self, key: str, result) -> None:
         self._put("results", key, result)
+        obs.add("store.result_puts")
+        if obs.enabled():
+            obs.add("store.result_bytes_written", self._artifact_bytes(
+                "results", key))
+
+    def _artifact_bytes(self, family: str, key: str) -> int:
+        """On-disk size of one artifact (0 if missing — metrics only)."""
+        for suffix in (".npz", ".pkl"):
+            try:
+                return self._path(family, key, suffix).stat().st_size
+            except OSError:
+                continue
+        return 0
 
     # -- maintenance ----------------------------------------------------
 
