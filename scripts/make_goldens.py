@@ -5,10 +5,12 @@ Run from the repository root after an *intentional* model change:
     PYTHONPATH=src python scripts/make_goldens.py
 
 and commit the refreshed JSON together with the change that shifted
-the numbers.  The goldens pin ``figure9`` / ``figure10`` / ``table2``
-on a fixed three-layer subset at ``max_ctas=2`` (see GOLDEN_LAYERS /
-GOLDEN_OPTIONS, mirrored in tests/test_goldens.py) so refactors that
-should be numerically neutral cannot silently shift reported results.
+the numbers.  The goldens pin ``figure9`` / ``figure10`` /
+``figure12`` / ``table2`` / ``multikernel`` on a fixed three-layer
+subset at ``max_ctas=2`` (see GOLDEN_LAYERS / GOLDEN_OPTIONS,
+mirrored in tests/test_goldens.py) so refactors that should be
+numerically neutral — the vectorised set-associative and PID-tagged
+replays included — cannot silently shift reported results.
 """
 
 import json
@@ -33,7 +35,11 @@ def main() -> int:
     runs = {
         "figure9": lambda: experiments.figure9(layers, options),
         "figure10": lambda: experiments.figure10(layers, options),
+        "figure12": lambda: experiments.figure12(layers, options),
         "table2": lambda: experiments.table2(),
+        "multikernel": lambda: experiments.multikernel_sharing(
+            layers, options=options
+        ),
     }
     for name, run in runs.items():
         exp = run()

@@ -1,9 +1,11 @@
 """CI perf-regression gate over the not-slow benchmark kernel set.
 
-Runs a fixed suite of micro-benchmarks (trace generation, fast-path
-replay, event-path replay, an end-to-end baseline/Duplo pair, and a
-warm-cache sweep rerun), takes the **median over N repeats**, and
-either records a baseline or checks the current build against one.
+Runs a fixed suite of micro-benchmarks (trace generation, fast- and
+event-path replays — direct-mapped and 8-way set-associative — a
+PID-tagged multi-kernel shared-LHB replay in both implementations, an
+end-to-end baseline/Duplo pair, and a warm-cache sweep rerun), takes
+the **median over N repeats**, and either records a baseline or
+checks the current build against one.
 
 Record a fresh baseline (after an intentional perf-relevant change)::
 
@@ -20,10 +22,12 @@ The check applies three rules, strictest first:
 1. **counters** must match the baseline exactly — they are
    deterministic model outputs (LHB hits, events replayed), so any
    drift is a correctness regression, not noise;
-2. **derived ratios** (``fast_path_speedup`` — event replay over fast
-   replay, measured in the same process on the same trace) must stay
-   within ``--tolerance`` (default 25%) of the baseline, because
-   ratios cancel host speed and are comparable across machines;
+2. **derived ratios** (``fast_path_speedup`` /
+   ``assoc_fast_path_speedup`` / ``multikernel_fast_path_speedup`` —
+   event replay over fast replay, measured in the same process on the
+   same inputs) must stay within ``--tolerance`` (default 25%) of the
+   baseline, because ratios cancel host speed and are comparable
+   across machines;
 3. **absolute medians** must stay under ``baseline * --time-tolerance``
    (default 3.0x) — a loose catastrophic-regression backstop, since CI
    runners and developer machines differ widely in absolute speed.
@@ -93,7 +97,7 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
 
         return run, counters
 
-    def _replay_setup(replay):
+    def _replay_setup(replay, assoc=1):
         trace = generate_sm_trace(
             yolo_c2, TITAN_V, BASELINE_KERNEL, replay_options
         )
@@ -101,7 +105,7 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
         def run():
             lhb = make_lhb(
                 1024,
-                1,
+                assoc,
                 replay_options.lhb_lifetime,
                 replay_options.lhb_hashed_index,
             )
@@ -119,6 +123,53 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
             }
 
         return run, counters
+
+    def _multikernel_setup(fast):
+        """Shared-LHB replay of a two-kernel interleave, PID-tagged.
+
+        The streams and their round-robin interleave are prepared
+        untimed (both implementations consume the identical arrays);
+        the measured body is purely the buffer resolution — closed
+        form vs. the event-level state machine.
+        """
+        from repro.gpu.fastpath import simulate_lhb_stream
+        from repro.gpu.multikernel import _interleave, _workspace_stream
+
+        options = SimulationOptions(max_ctas=4)
+        streams = [
+            _workspace_stream(spec, TITAN_V, BASELINE_KERNEL, options)
+            for spec in (yolo_c2, gan_tc3)
+        ]
+        batch_i, element_i, pid_i = _interleave(streams, 256)
+        element_l = element_i.tolist()
+        batch_l = batch_i.tolist()
+        pid_l = pid_i.tolist()
+
+        def fresh():
+            return make_lhb(
+                1024, 1, options.lhb_lifetime, options.lhb_hashed_index
+            )
+
+        def run_fast():
+            lhb = fresh()
+            simulate_lhb_stream(element_i, batch_i, lhb, pid=pid_i)
+            return lhb
+
+        def run_event():
+            lhb = fresh()
+            access = lhb.access
+            for e, b, p in zip(element_l, batch_l, pid_l):
+                access(e, b, 0, pid=p)
+            return lhb
+
+        def counters(lhb):
+            return {
+                "lookups": int(lhb.stats.lookups),
+                "hits": int(lhb.stats.hits),
+                "compulsory_misses": int(lhb.stats.compulsory_misses),
+            }
+
+        return (run_fast if fast else run_event), counters
 
     def simulate_pair_setup():
         options = SimulationOptions(max_ctas=2)
@@ -170,6 +221,12 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
         "trace_gen.yolo_c2": trace_gen_setup,
         "replay_fast.yolo_c2": lambda: _replay_setup(replay_trace_fast),
         "replay_event.yolo_c2": lambda: _replay_setup(replay_trace),
+        "replay_fast_assoc8.yolo_c2":
+            lambda: _replay_setup(replay_trace_fast, assoc=8),
+        "replay_event_assoc8.yolo_c2":
+            lambda: _replay_setup(replay_trace, assoc=8),
+        "multikernel_fast.yolo_gan": lambda: _multikernel_setup(True),
+        "multikernel_event.yolo_gan": lambda: _multikernel_setup(False),
         "simulate_pair.gan_tc3": simulate_pair_setup,
         "sweep.warm_cache": warm_sweep_setup,
     }
@@ -199,10 +256,19 @@ def run_suite(repeats: int) -> Dict[str, dict]:
 
 def derived_ratios(benchmarks: Dict[str, dict]) -> Dict[str, float]:
     ratios: Dict[str, float] = {}
-    fast = benchmarks.get("replay_fast.yolo_c2", {}).get("median_s")
-    event = benchmarks.get("replay_event.yolo_c2", {}).get("median_s")
-    if fast and event:
-        ratios["fast_path_speedup"] = round(event / fast, 2)
+    pairs = {
+        "fast_path_speedup":
+            ("replay_event.yolo_c2", "replay_fast.yolo_c2"),
+        "assoc_fast_path_speedup":
+            ("replay_event_assoc8.yolo_c2", "replay_fast_assoc8.yolo_c2"),
+        "multikernel_fast_path_speedup":
+            ("multikernel_event.yolo_gan", "multikernel_fast.yolo_gan"),
+    }
+    for name, (event_key, fast_key) in pairs.items():
+        fast = benchmarks.get(fast_key, {}).get("median_s")
+        event = benchmarks.get(event_key, {}).get("median_s")
+        if fast and event:
+            ratios[name] = round(event / fast, 2)
     return ratios
 
 

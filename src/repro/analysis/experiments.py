@@ -406,6 +406,65 @@ def figure14(
 
 
 # ----------------------------------------------------------------------
+# Section V-H: concurrent kernels sharing one SM's LHB
+# ----------------------------------------------------------------------
+
+def multikernel_sharing(
+    layers: Optional[Sequence[ConvLayerSpec]] = None,
+    lhb_entries: Optional[int] = 1024,
+    chunk: int = 256,
+    options: SimulationOptions = SimulationOptions(),
+    kernel: KernelConfig = BASELINE_KERNEL,
+) -> Experiment:
+    """PID-tagged sharing study: all ``layers`` co-resident on one SM.
+
+    For each kernel: its hit rate running alone vs. time-sliced
+    against the rest of the set through one shared buffer.  The PID
+    tag field guarantees isolation (no cross-kernel aliasing); the
+    contention loss quantifies how much capacity pressure the shared
+    working sets add.
+    """
+    from repro.gpu.multikernel import simulate_shared_lhb
+
+    layers = _default_layers(layers)
+    shared = simulate_shared_lhb(
+        layers, lhb_entries, chunk=chunk, kernel=kernel, options=options
+    )
+    rows = []
+    losses = []
+    for pid, spec in enumerate(layers):
+        solo = simulate_shared_lhb(
+            [spec], lhb_entries, chunk=chunk, kernel=kernel, options=options
+        )[0]
+        loss = solo.hit_rate - shared[pid].hit_rate
+        losses.append(loss)
+        rows.append(
+            {
+                "layer": spec.qualified_name,
+                "pid": pid,
+                "lookups": shared[pid].lookups,
+                "solo_hit_rate": solo.hit_rate,
+                "shared_hit_rate": shared[pid].hit_rate,
+                "contention_loss": loss,
+            }
+        )
+    total_lookups = sum(r["lookups"] for r in rows)
+    total_hits = sum(s.hits for s in shared)
+    summary = {
+        "kernels": float(len(layers)),
+        "shared_hit_rate": total_hits / total_lookups if total_lookups else 0.0,
+        "mean_contention_loss": sum(losses) / len(losses),
+        "max_contention_loss": max(losses),
+    }
+    return Experiment(
+        name="multikernel",
+        description="Concurrent kernels sharing one SM's LHB (PID tags)",
+        rows=rows,
+        summary=summary,
+    )
+
+
+# ----------------------------------------------------------------------
 # Table II: detection-unit workflow
 # ----------------------------------------------------------------------
 

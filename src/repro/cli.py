@@ -8,7 +8,8 @@ Commands
     Simulate one layer (baseline vs. Duplo) and print the comparison.
 ``experiment NAME``
     Regenerate one paper figure/table (``figure2`` .. ``figure14``,
-    ``table2``, ``energy_area``).  ``--jobs N`` fans the sweep across
+    ``table2``, ``multikernel``, ``energy_area``).  ``--jobs N`` fans
+    the sweep across
     N worker processes; artifacts persist under ``results/cache/``
     unless ``--no-cache`` is given.
 ``calibration``
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "figure13": lambda a, ex: exp_mod.figure13(options=a, executor=ex),
     "figure14": lambda a, ex: exp_mod.figure14(options=a),
     "table2": lambda a, ex: exp_mod.table2(),
+    "multikernel": lambda a, ex: exp_mod.multikernel_sharing(options=a),
     "energy_area": lambda a, ex: exp_mod.energy_area(options=a, executor=ex),
 }
 

@@ -158,6 +158,17 @@ class LoadHistoryBuffer:
         """True for the unbounded buffer the paper labels "oracle"."""
         return self.num_entries is None
 
+    def is_fresh(self) -> bool:
+        """True while the buffer has never served an access.
+
+        The vectorised replay (:mod:`repro.gpu.fastpath`) resolves a
+        whole lookup stream in closed form under the assumption that
+        the buffer starts empty; a warm buffer (entries or counters
+        carried over from a previous stream) has no such closed form
+        and must take the event path.
+        """
+        return self._seq == 0 and not self._seen_tags
+
     # ------------------------------------------------------------------
     # Core access path
     # ------------------------------------------------------------------

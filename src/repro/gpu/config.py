@@ -223,14 +223,16 @@ class SimulationOptions:
     pid: int = 0
     representative_sm: int = 0
     #: Vectorised replay selector.  "auto" uses the columnar fast path
-    #: wherever it is exactly representable (baseline, direct-mapped,
-    #: oracle) and falls back to the event path elsewhere
-    #: (set-associative LHBs, multi-kernel interleavings); the
-    #: ``REPRO_FAST_PATH`` environment variable can force "on"/"off"
-    #: when the option is left at "auto".  "on" raises for unsupported
-    #: configurations instead of silently falling back; "off" always
-    #: replays event by event.  Both paths are bit-identical, so this
-    #: never changes results — only wall-clock.
+    #: wherever it is exactly representable — baseline, direct-mapped,
+    #: set-associative (any ways), oracle, and PID-tagged multi-kernel
+    #: interleavings — and falls back to the event path only for a
+    #: warm caller-supplied LHB (counted under ``fastpath.fallback``
+    #: in :mod:`repro.obs`); the ``REPRO_FAST_PATH`` environment
+    #: variable can force "on"/"off" when the option is left at
+    #: "auto".  "on" raises for unsupported configurations instead of
+    #: silently falling back; "off" always replays event by event.
+    #: Both paths are bit-identical, so this never changes results —
+    #: only wall-clock.
     fast_path: str = "auto"
 
     def __post_init__(self) -> None:

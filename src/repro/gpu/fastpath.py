@@ -11,9 +11,17 @@ exact closed forms:
   access hits iff the *previous access to the same set* carried the
   same tag within the retirement window.  One stable sort by set index
   resolves every lookup; the same recurrence with "set = tag" is the
-  oracle buffer.  (Set-associative LHBs have no such local recurrence —
-  they fall back to the event path, as do the PID-tagged multi-kernel
-  interleavings of :mod:`repro.gpu.multikernel`.)
+  oracle buffer.  Set-associative LHBs (Figure 12's 2/4/8-way sweep)
+  resolve offline too: the buffer's dead-entry-preferring eviction
+  *is* plain LRU (an expired entry's ``last_use`` is always older than
+  any live entry's, so ``min(alive, last_use)`` equals
+  ``min(last_use)``), which restores the stack-distance
+  characterisation — an entry is still resident iff fewer than
+  ``assoc`` distinct tags touched its set since its previous access,
+  and a resident entry hits iff its retirement window also holds.
+  PID-tagged multi-kernel interleavings
+  (:mod:`repro.gpu.multikernel`) fold the PID into the tag key and
+  resolve in the same recurrences.
 
 * **LRU inclusion property** — an access to a set-associative LRU cache
   hits iff its *stack distance* (distinct lines referenced in the same
@@ -40,6 +48,7 @@ the event path, but the buffer's entry arrays are left empty.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 import numpy as np
@@ -66,18 +75,77 @@ class FastPathUnsupported(ValueError):
     """Raised when ``fast_path="on"`` forces an unsupported replay."""
 
 
+#: Environment override consulted when ``options.fast_path == "auto"``:
+#: set ``REPRO_FAST_PATH=on`` / ``off`` to force the replay
+#: implementation without rebuilding options objects (the CI
+#: equivalence lanes use exactly this).
+FAST_PATH_ENV = "REPRO_FAST_PATH"
+
+
+def fast_path_fallback_reason(
+    mode: EliminationMode, lhb: Optional[LoadHistoryBuffer]
+) -> Optional[str]:
+    """Why this configuration needs the event path (``None`` = covered).
+
+    Every LHB organisation — direct-mapped, set-associative (any
+    associativity), oracle — is exactly representable now, as are
+    PID-tagged multi-kernel streams.  The one residual fallback is a
+    *warm* buffer: the closed forms assume the stream starts against
+    an empty LHB, so a caller-supplied buffer that already served
+    accesses routes to the event-level state machine.  The reason
+    string is the label :func:`resolve_fast_path` reports through
+    ``repro.obs`` (``fastpath.fallback.<reason>``) so a silent
+    regression to the slow path shows up in metrics.
+    """
+    if mode is EliminationMode.BASELINE or lhb is None:
+        return None
+    if not lhb.is_fresh():
+        return "warm-lhb"
+    return None
+
+
 def supports_fast_path(
     mode: EliminationMode, lhb: Optional[LoadHistoryBuffer]
 ) -> bool:
-    """True when the vectorised recurrences cover this configuration.
+    """True when the vectorised recurrences cover this configuration."""
+    return fast_path_fallback_reason(mode, lhb) is None
 
-    Baseline replays (no LHB) and direct-mapped or oracle buffers are
-    exactly representable; set-associative LHBs (``assoc > 1``) need
-    the event-level LRU state machine and fall back.
+
+def resolve_fast_path(
+    options,
+    mode: EliminationMode,
+    lhb: Optional[LoadHistoryBuffer],
+) -> bool:
+    """Decide which replay implementation serves this simulation.
+
+    ``"auto"`` defers to ``$REPRO_FAST_PATH`` when set, otherwise uses
+    the fast path wherever it is exactly representable — any fallback
+    to the event path is *observable*, counted under
+    ``fastpath.fallback`` (plus a ``fastpath.fallback.<reason>``
+    label) so a covered configuration silently regressing to the slow
+    path fails the metrics assertions in the test suite.  ``"on"``
+    raises :class:`FastPathUnsupported` rather than silently degrade;
+    ``"off"`` always takes the event path (an explicit choice, not a
+    fallback — it is not counted).
     """
-    if mode is EliminationMode.BASELINE or lhb is None:
+    choice = options.fast_path
+    if choice == "auto":
+        env = os.environ.get(FAST_PATH_ENV, "").strip().lower()
+        if env in ("on", "off"):
+            choice = env
+    if choice == "off":
+        return False
+    reason = fast_path_fallback_reason(mode, lhb)
+    if reason is None:
         return True
-    return lhb.is_oracle or lhb.assoc == 1
+    if choice == "on":
+        raise FastPathUnsupported(
+            f"fast_path='on' but this configuration ({reason}) requires "
+            "the event-level replay; use fast_path='auto'"
+        )
+    obs.add("fastpath.fallback")
+    obs.add(f"fastpath.fallback.{reason}")
+    return False
 
 
 # ----------------------------------------------------------------------
@@ -92,7 +160,8 @@ def stable_order(values: np.ndarray) -> np.ndarray:
     position into a composite key — ``(value - min) * n + position`` —
     whose uniqueness makes the default sort's order stable by
     construction.  Extreme ranges (strict-mode element IDs) fall back
-    to the stable kind.
+    to the stable kind — kept deliberately, and counted under
+    ``fastpath.stable_sort_fallback`` so the slow tier is observable.
     """
     n = len(values)
     if n < 2:
@@ -108,6 +177,7 @@ def stable_order(values: np.ndarray) -> np.ndarray:
     if span <= (1 << 62) // n:
         key = (values - np.int64(lo)) * np.int64(n) + np.arange(n, dtype=np.int64)
         return np.argsort(key)
+    obs.add("fastpath.stable_sort_fallback")
     return np.argsort(values, kind="stable")
 
 
@@ -146,19 +216,24 @@ def dominance_counts(
 ) -> np.ndarray:
     """``counts[k] = #{j <= query_x[k] : values[j] < query_t[k]}``.
 
-    Contract: ``values`` and ``query_t`` lie in ``[-1, m)`` where
-    ``m = len(values)`` — they are previous-occurrence indices, which
-    is what keeps the sentinel ``m + 1`` above every threshold.
+    Contract: ``values`` lie in ``[-1, m]`` and ``query_t`` in
+    ``[-1, m)`` where ``m = len(values)`` — previous-occurrence
+    indices (with ``m`` admitted as a "no next occurrence" sentinel:
+    it shifts to ``m + 1``, ties the internal query marker, and is
+    never counted because every threshold stays at most ``m``).
+    ``query_x`` may include ``-1`` (an empty prefix, counting zero).
 
-    Offline 2D dominance counting via bottom-up divide and conquer:
-    points and queries are interleaved in position order, and at each
-    block-doubling level the queries in right-sibling blocks count the
-    points in their left sibling with one global ``searchsorted`` (the
-    per-block sorted values are made globally monotone by adding
-    ``block_index * offset``).  Every (point, later query) pair is
-    counted at exactly one level — the one where the pair first splits
-    into sibling blocks.  All passes are radix sorts or binary
-    searches; nothing is per-event.
+    Offline 2D dominance counting over a bottom-up merge-sort tree:
+    the point array is sorted in place level by level (block size
+    doubling each round), and each query prefix ``[0, x]`` decomposes
+    into its binary aligned blocks — one block per set bit of
+    ``x + 1``, resolved at the level whose block size matches that bit
+    with one global ``searchsorted`` (the per-block sorted values are
+    made globally monotone by adding ``block_index * offset``).  Every
+    (point, query) pair lands in exactly one block of the
+    decomposition.  All passes are sorts of presorted halves or binary
+    searches; nothing is per-event, and queries never occupy slots, so
+    the hot per-level arrays stay at the point count.
     """
     m = len(values)
     q = len(query_x)
@@ -166,53 +241,42 @@ def dominance_counts(
     if q == 0 or m == 0:
         return counts
 
-    # Interleave: queries sit immediately after the point they close
-    # over (j <= x is inclusive, so points sort before queries at the
-    # same position).  ``pos * 2 + kind`` is a unique composite key, so
-    # the default introsort replaces a lexsort.
-    pos = np.concatenate([np.arange(m, dtype=np.int64), query_x])
-    kind = np.concatenate([np.zeros(m, np.int8), np.ones(q, np.int8)])
-    order = np.argsort(pos * 2 + kind)
-
-    total = m + q
-    padded = 1 << max(0, (total - 1).bit_length())
+    padded = 1 << max(0, (m - 1).bit_length())
     big = np.int32(m + 1)  # sentinel: never counted by any threshold
     off = np.int64(m + 2)
 
-    # Point values shift to [1, m+1] so they stay int32 — the per-level
+    # Point values shift to [0, m+1] so they stay int32 — the per-level
     # sorts are the hot loop, and int32 halves their memory traffic.
     vals = np.full(padded, big, dtype=np.int32)
-    merged = np.concatenate(
-        [values.astype(np.int64) + 1, np.full(q, big, dtype=np.int64)]
-    )
-    vals[:total] = merged[order]
+    vals[:m] = values + 1
 
-    is_query = np.zeros(padded, dtype=bool)
-    is_query[:total] = kind[order] == 1
-    qslot = np.nonzero(is_query)[0].astype(np.int64)
-    q_orig = order[qslot] - m  # original query index per slot
-    qthr = query_t[q_orig].astype(np.int64) + 1  # "< t" -> "< t+1"
+    prefix = query_x.astype(np.int64) + 1  # prefix length per query
+    qthr = query_t.astype(np.int64) + 1  # "< t" -> "< t+1"
 
     slot_idx = np.arange(padded, dtype=np.int64)
     blk = np.empty(padded, dtype=np.int64)
     aug = np.empty(padded, dtype=np.int64)
+    maxp = int(prefix.max())
     span, shift = 1, 0
-    while span < padded:
+    while True:
         pair = 2 * span
-        in_right = (qslot & span) != 0  # bit test == (slot % pair) >= span
-        if in_right.any():
-            left_start = qslot[in_right] & ~np.int64(pair - 1)
+        take = (prefix & span) != 0  # this bit's aligned block, if set
+        if take.any():
+            left_start = prefix[take] & ~np.int64(pair - 1)
             # Per-span-block offsets make the concatenation of all
             # sorted blocks globally monotone for one searchsorted.
             np.right_shift(slot_idx, shift, out=blk)
             np.multiply(blk, off, out=aug)
             aug += vals
-            keys = qthr[in_right] + (left_start >> shift) * off
+            keys = qthr[take] + (left_start >> shift) * off
             hits = np.searchsorted(aug, keys, side="left") - left_start
-            counts[q_orig[in_right]] += hits
+            counts[take] += hits
+        if span >= padded or pair > maxp:
+            return counts  # no prefix has a higher bit set
+        # Each block is two sorted halves; the stable sort's run
+        # detection turns the pass into a linear merge.
         vals.reshape(padded // pair, pair).sort(axis=1, kind="stable")
         span, shift = pair, shift + 1
-    return counts
 
 
 def lru_hit_mask(lines: np.ndarray, set_mask: int, assoc: int) -> np.ndarray:
@@ -262,16 +326,19 @@ def lru_hit_mask(lines: np.ndarray, set_mask: int, assoc: int) -> np.ndarray:
     if assoc > 1 and residual.any():
         qi = position[residual]
         qt = prev[residual]
-        # One dominance pass answers both ends of the window — the
-        # per-level sorts dominate and are shared across all queries.
-        k = len(qi)
-        counts = dominance_counts(
-            prev,
-            np.concatenate([qi - 1, qt]),
-            np.concatenate([qt, qt]),
-        )
-        sd = counts[:k] - counts[k:]
-        hits[r_orig[residual][sd < assoc]] = True
+        # First-ever occurrences inside the window are distinct lines
+        # for free: an O(1) lower bound that settles most queries
+        # without touching the dominance machinery.
+        csum = np.cumsum(prev < 0)
+        alive = (csum[qi - 1] - csum[qt]) < assoc
+        qi, qt = qi[alive], qt[alive]
+        if len(qi):
+            # The window's lower end is closed-form: every prev pointer
+            # is strictly below its own index, so
+            # #{j <= qt : prev[j] < qt} == qt + 1 exactly.
+            counts = dominance_counts(prev, qi - 1, qt)
+            sd = counts - (qt + 1)
+            hits[r_orig[qi[sd < assoc]]] = True
     return hits
 
 
@@ -289,15 +356,23 @@ def _lhb_set_indices(element: np.ndarray, lhb: LoadHistoryBuffer) -> np.ndarray:
 
 
 def simulate_lhb_stream(
-    element: np.ndarray, batch: np.ndarray, lhb: LoadHistoryBuffer
+    element: np.ndarray,
+    batch: np.ndarray,
+    lhb: LoadHistoryBuffer,
+    pid: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Replay a lookup stream through ``lhb`` in closed form.
 
     Returns the per-lookup hit mask and fills ``lhb.stats`` with the
     exact counters the event path would produce.  The buffer's entry
-    storage is left empty — only the statistics are materialised.  All
-    lookups share one PID (the single-kernel replay invariant), so the
-    tag reduces to ``(element_id, batch_id)``.
+    storage is left empty — only the statistics are materialised.
+
+    ``pid`` carries the per-lookup process ID of a multi-kernel
+    interleaving (:mod:`repro.gpu.multikernel`); omitted, all lookups
+    share one PID (the single-kernel replay invariant) and the tag
+    reduces to ``(element_id, batch_id)``.  The PID folds into the
+    tag key only — set indexing stays a function of the element ID,
+    exactly as :meth:`~repro.core.lhb.LoadHistoryBuffer._index`.
     """
     n = len(element)
     stats = lhb.stats
@@ -307,10 +382,18 @@ def simulate_lhb_stream(
     element = np.asarray(element, dtype=np.int64)
     batch = np.asarray(batch, dtype=np.int64)
 
-    # Injective (element, batch) -> int64 key: batches are small
-    # non-negative ints, elements may be negative (merged padding).
+    # Injective (element, batch[, pid]) -> int64 key: batches and PIDs
+    # are small non-negative ints, elements may be negative (merged
+    # padding).
     base = np.int64(int(batch.max()) + 1)
     tag = element * base + batch
+    if pid is not None:
+        pid = np.asarray(pid, dtype=np.int64)
+        pbase = np.int64(int(pid.max()) + 1)
+        tag = tag * pbase + pid
+
+    if not lhb.is_oracle and lhb.assoc > 1:
+        return _set_associative_lhb_stream(element, tag, lhb)
 
     # One stable sort groups the stream by set (tag, for the oracle);
     # every lookup's predecessor-in-set is then simply the previous
@@ -347,6 +430,140 @@ def simulate_lhb_stream(
     return hit
 
 
+def _set_associative_lhb_stream(
+    element: np.ndarray, tag: np.ndarray, lhb: LoadHistoryBuffer
+) -> np.ndarray:
+    """Offline per-set LRU resolution of a 2+-way LHB stream.
+
+    The buffer's eviction rule — prefer a dead entry, else least
+    ``last_use`` — *is* plain LRU: an entry is dead iff its last use
+    is at least ``lifetime`` steps old, so every dead entry is older
+    than every live one and ``min((alive, last_use))`` coincides with
+    ``min(last_use)``.  The expired-tag path (remove + reallocate)
+    likewise just refreshes the tag's recency.  Set membership is
+    therefore the classic "``assoc`` most recently used distinct tags
+    per set", and each counter has a closed form over stack distances:
+
+    * **resident** — previous access to the tag exists and fewer than
+      ``assoc`` distinct tags touched the set in between (LRU
+      inclusion; counted by the same dominance pass as
+      :func:`lru_hit_mask`);
+    * **hit** — resident and the previous access is within the
+      retirement window (global stream positions — the LHB sequence
+      number spans all sets);
+    * **expired miss** — resident but outside the window (the entry is
+      still in the set, so the event path finds-and-removes it);
+    * **conflict replacement** — a miss of a non-resident tag in a
+      full set (``assoc``-th distinct tag already seen) whose LRU
+      victim is still live.  The victim is the ``assoc``-th most
+      recently used distinct tag, so it is live iff at least ``assoc``
+      distinct tags had their latest access inside the window — a
+      windowed last-occurrence count, answered by one more dominance
+      pass over next-occurrence indices.
+    """
+    n = len(tag)
+    stats = lhb.stats
+    assoc = lhb.assoc
+    sets = _lhb_set_indices(element, lhb)
+
+    order = stable_order(sets)  # set-grouped, stream order within
+    s_tag = tag[order]
+    pos = np.arange(n, dtype=np.int64)
+    prev_s = prev_in_group(s_tag)  # same tag => same set => same block
+    has_prev = prev_s >= 0
+
+    first = ~has_prev  # first-ever occurrence of the tag (== in-set)
+    csum = np.cumsum(first)
+
+    # Residency: windows shorter than assoc short-circuit; first-ever
+    # occurrences inside the window are distinct tags for free (an
+    # O(1) stack-distance lower bound that settles most of the rest);
+    # only the survivors pay for the dominance count of lru_hit_mask.
+    window = pos - prev_s - 1  # same-set accesses strictly in between
+    resident = has_prev & (window < assoc)
+    residual = has_prev & ~resident
+    if residual.any():
+        qi = pos[residual]
+        qt = prev_s[residual]
+        alive = (csum[qi - 1] - csum[qt]) < assoc
+        qi, qt = qi[alive], qt[alive]
+        if len(qi):
+            # The lower end of the window is closed-form: prev pointers
+            # sit strictly below their own index, so
+            # #{j <= qt : prev_s[j] < qt} == qt + 1 exactly.
+            counts = dominance_counts(prev_s, qi - 1, qt)
+            sd = counts - (qt + 1)
+            resident[qi[sd < assoc]] = True
+
+    # Retirement window: gaps are *global* stream positions (the LHB
+    # sequence number counts every lookup, whichever set it lands in).
+    within = np.zeros(n, dtype=bool)
+    ip = np.nonzero(has_prev)[0]
+    if lhb.lifetime is None:
+        within[ip] = True
+    else:
+        within[ip] = (order[ip] - order[prev_s[ip]]) < lhb.lifetime
+
+    hit_s = resident & within
+    hit = np.zeros(n, dtype=bool)
+    hit[order] = hit_s
+    n_hits = int(hit_s.sum())
+    stats.hits += n_hits
+    stats.misses += n - n_hits
+    stats.expired_misses += int((resident & ~within).sum())
+    stats.compulsory_misses += distinct_count(tag)
+
+    # Conflict replacements: misses of non-resident tags in full sets.
+    s_sets = sets[order]
+    new_block = np.ones(n, dtype=bool)
+    new_block[1:] = s_sets[1:] != s_sets[:-1]
+    block_id = np.cumsum(new_block) - 1
+    bstart = pos[new_block][block_id]  # block start per sorted slot
+    distinct_before = (csum - first) - (csum[bstart] - first[bstart])
+    evict = ~resident & (distinct_before >= assoc)
+    if evict.any():
+        if lhb.lifetime is None:
+            stats.conflict_replacements += int(evict.sum())
+        else:
+            ei = pos[evict]
+            # Next same-tag occurrence per sorted slot (n = none).
+            nxt = np.full(n, n, dtype=np.int64)
+            nxt[prev_s[ip]] = ip
+            # First in-window slot of each evicting miss's set block:
+            # per-block offsets keep the (block, global position) key
+            # monotone for one global searchsorted.
+            big = np.int64(n + 1)
+            aug = block_id * big + order
+            first_in_window = np.searchsorted(
+                aug, block_id[ei] * big + (order[ei] - lhb.lifetime),
+                side="right",
+            )
+            # A window opening before the stream start underflows into
+            # the previous set's block; the block start is the floor.
+            first_in_window = np.maximum(first_in_window, bstart[ei])
+            # Windows with fewer than assoc slots cannot hold assoc
+            # live members — drop them before the dominance pass.
+            wide = (ei - first_in_window) >= assoc
+            ei, first_in_window = ei[wide], first_in_window[wide]
+            if len(ei):
+                # Live members = distinct tags whose *latest* access
+                # before the miss sits inside the window: slots j in
+                # [first_in_window, ei) with no later same-tag slot
+                # < ei.
+                k = len(ei)
+                counts = dominance_counts(
+                    nxt,
+                    np.concatenate([ei - 1, first_in_window - 1]),
+                    np.concatenate([ei, ei]),
+                )
+                reappearing = counts[:k] - counts[k:]
+                live_members = (ei - first_in_window) - reappearing
+                stats.conflict_replacements += int(
+                    (live_members >= assoc).sum()
+                )
+    return hit
+
+
 # ----------------------------------------------------------------------
 # Full replay
 # ----------------------------------------------------------------------
@@ -362,15 +579,18 @@ def replay_trace_fast(
 ) -> LayerStats:
     """Vectorised, bit-identical drop-in for ``replay_trace``.
 
-    Raises :class:`FastPathUnsupported` for set-associative LHBs —
-    callers on ``fast_path="auto"`` route those to the event path.
+    Raises :class:`FastPathUnsupported` for configurations the closed
+    forms cannot represent (currently only a warm, already-accessed
+    LHB) — callers on ``fast_path="auto"`` route those to the event
+    path.
     """
     if mode is not EliminationMode.BASELINE and lhb is None:
         lhb = LoadHistoryBuffer(lifetime=options.lhb_lifetime)
-    if not supports_fast_path(mode, lhb):
+    reason = fast_path_fallback_reason(mode, lhb)
+    if reason is not None:
         raise FastPathUnsupported(
-            f"set-associative LHB (assoc={lhb.assoc}) has no vectorised "
-            "recurrence; use the event-level replay"
+            f"configuration ({reason}) has no vectorised recurrence; "
+            "use the event-level replay"
         )
     obs.add("fastpath.replays")
     obs.add("fastpath.events", int(trace.kind.size))

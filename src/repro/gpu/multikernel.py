@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.conv.layer import ConvLayerSpec
 from repro.core.idgen import IDGenerator
 from repro.core.compiler import build_convolution_info
@@ -30,8 +31,10 @@ from repro.gpu.config import (
     SimulationOptions,
     TITAN_V,
 )
+from repro.gpu.fastpath import resolve_fast_path, simulate_lhb_stream
 from repro.gpu.isa import LOAD_A, LOAD_A_SHARED, WORKSPACE_BASE
 from repro.gpu.kernel import generate_sm_trace
+from repro.gpu.ldst import EliminationMode
 
 
 @dataclass(frozen=True)
@@ -69,40 +72,15 @@ def _workspace_stream(
     return batch[ok], element[ok]
 
 
-def simulate_shared_lhb(
-    specs: Sequence[ConvLayerSpec],
-    lhb_entries: Optional[int] = 1024,
-    chunk: int = 256,
-    gpu: GPUConfig = TITAN_V,
-    kernel: KernelConfig = BASELINE_KERNEL,
-    options: SimulationOptions = SimulationOptions(),
-    lhb: Optional[LoadHistoryBuffer] = None,
-) -> List[KernelShare]:
-    """Interleave several kernels' workspace loads through one LHB.
-
-    The scheduler alternates ``chunk``-sized load slices round-robin
-    across the kernels (the granularity at which time-slicing
-    interleaves co-resident kernels' warps); kernel ``i`` is tagged
-    with PID ``i``.
-    """
-    if not specs:
-        raise ValueError("need at least one kernel")
-    if chunk < 1:
-        raise ValueError(f"chunk must be >= 1, got {chunk}")
-    if lhb is None:
-        lhb = LoadHistoryBuffer(
-            num_entries=lhb_entries,
-            lifetime=options.lhb_lifetime,
-            hashed_index=options.lhb_hashed_index,
-        )
-
-    streams = [
-        _workspace_stream(spec, gpu, kernel, options) for spec in specs
-    ]
-    cursors = [0] * len(specs)
-    lookups = [0] * len(specs)
-    hits = [0] * len(specs)
-
+def _interleave(
+    streams: Sequence[Tuple[np.ndarray, np.ndarray]], chunk: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Round-robin ``chunk``-sized slices into one (batch, element, pid)
+    stream — the exact access order of the event-path scheduler loop."""
+    b_parts: List[np.ndarray] = []
+    e_parts: List[np.ndarray] = []
+    p_parts: List[np.ndarray] = []
+    cursors = [0] * len(streams)
     live = True
     while live:
         live = False
@@ -112,16 +90,88 @@ def simulate_shared_lhb(
                 continue
             live = True
             stop = min(start + chunk, len(element))
-            b_l = batch[start:stop].tolist()
-            e_l = element[start:stop].tolist()
-            access = lhb.access
-            h = 0
-            for b, e in zip(b_l, e_l):
-                if access(e, b, 0, pid=pid).hit:
-                    h += 1
-            hits[pid] += h
-            lookups[pid] += stop - start
+            b_parts.append(batch[start:stop])
+            e_parts.append(element[start:stop])
+            p_parts.append(np.full(stop - start, pid, dtype=np.int64))
             cursors[pid] = stop
+    if not b_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate(b_parts),
+        np.concatenate(e_parts),
+        np.concatenate(p_parts),
+    )
+
+
+def simulate_shared_lhb(
+    specs: Sequence[ConvLayerSpec],
+    lhb_entries: Optional[int] = 1024,
+    chunk: int = 256,
+    gpu: GPUConfig = TITAN_V,
+    kernel: KernelConfig = BASELINE_KERNEL,
+    options: SimulationOptions = SimulationOptions(),
+    lhb: Optional[LoadHistoryBuffer] = None,
+    lhb_assoc: int = 1,
+) -> List[KernelShare]:
+    """Interleave several kernels' workspace loads through one LHB.
+
+    The scheduler alternates ``chunk``-sized load slices round-robin
+    across the kernels (the granularity at which time-slicing
+    interleaves co-resident kernels' warps); kernel ``i`` is tagged
+    with PID ``i``.
+
+    ``options.fast_path`` selects the replay implementation exactly as
+    in the single-kernel simulator: the vectorised recurrence folds
+    the PID into the tag key and is bit-identical to the event loop on
+    every counter; a caller-supplied *warm* ``lhb`` routes to the
+    event path (observable under ``fastpath.fallback``).
+    """
+    if not specs:
+        raise ValueError("need at least one kernel")
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    if lhb is None:
+        lhb = LoadHistoryBuffer(
+            num_entries=lhb_entries,
+            assoc=lhb_assoc,
+            lifetime=options.lhb_lifetime,
+            hashed_index=options.lhb_hashed_index,
+        )
+
+    streams = [
+        _workspace_stream(spec, gpu, kernel, options) for spec in specs
+    ]
+    lookups = [len(element) for _, element in streams]
+
+    if resolve_fast_path(options, EliminationMode.DUPLO, lhb):
+        batch_i, element_i, pid_i = _interleave(streams, chunk)
+        obs.add("fastpath.shared_replays")
+        obs.add("fastpath.shared_lookups", int(len(element_i)))
+        hit = simulate_lhb_stream(element_i, batch_i, lhb, pid=pid_i)
+        counts = np.bincount(pid_i[hit], minlength=len(specs))
+        hits = [int(c) for c in counts]
+    else:
+        cursors = [0] * len(specs)
+        hits = [0] * len(specs)
+        live = True
+        while live:
+            live = False
+            for pid, (batch, element) in enumerate(streams):
+                start = cursors[pid]
+                if start >= len(element):
+                    continue
+                live = True
+                stop = min(start + chunk, len(element))
+                b_l = batch[start:stop].tolist()
+                e_l = element[start:stop].tolist()
+                access = lhb.access
+                h = 0
+                for b, e in zip(b_l, e_l):
+                    if access(e, b, 0, pid=pid).hit:
+                        h += 1
+                hits[pid] += h
+                cursors[pid] = stop
 
     return [
         KernelShare(spec=spec, pid=pid, lookups=lookups[pid], hits=hits[pid])

@@ -21,7 +21,6 @@ up so traces survive across runs.
 from __future__ import annotations
 
 import logging
-import os
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
@@ -37,8 +36,10 @@ from repro.gpu.config import (
     TITAN_V,
 )
 from repro.gpu.fastpath import (
+    FAST_PATH_ENV,
     FastPathUnsupported,
     replay_trace_fast,
+    resolve_fast_path as _resolve_fast_path,
     supports_fast_path,
 )
 from repro.gpu.isa import KernelTrace
@@ -47,11 +48,7 @@ from repro.gpu.ldst import EliminationMode, replay_trace
 from repro.gpu.stats import LayerStats
 from repro.gpu.timing import TimingModel
 
-#: Environment override consulted when ``options.fast_path == "auto"``:
-#: set ``REPRO_FAST_PATH=on`` / ``off`` to force the replay
-#: implementation without rebuilding options objects (the CI
-#: equivalence lanes use exactly this).
-FAST_PATH_ENV = "REPRO_FAST_PATH"
+__all_reexports__ = (FAST_PATH_ENV, FastPathUnsupported, supports_fast_path)
 
 _log = logging.getLogger(__name__)
 
@@ -75,34 +72,6 @@ def set_trace_store(store) -> None:
 def get_trace_store():
     """The currently attached persistent trace store (or ``None``)."""
     return _trace_store
-
-
-def _resolve_fast_path(
-    options: SimulationOptions,
-    mode: EliminationMode,
-    lhb: Optional[LoadHistoryBuffer],
-) -> bool:
-    """Decide which replay implementation serves this simulation.
-
-    ``"auto"`` defers to ``$REPRO_FAST_PATH`` when set, otherwise uses
-    the fast path wherever it is exactly representable.  ``"on"``
-    raises :class:`FastPathUnsupported` rather than silently degrade;
-    ``"off"`` always takes the event path.
-    """
-    choice = options.fast_path
-    if choice == "auto":
-        env = os.environ.get(FAST_PATH_ENV, "").strip().lower()
-        if env in ("on", "off"):
-            choice = env
-    if choice == "off":
-        return False
-    supported = supports_fast_path(mode, lhb)
-    if choice == "on" and not supported:
-        raise FastPathUnsupported(
-            "fast_path='on' but this configuration (set-associative LHB) "
-            "requires the event-level replay; use fast_path='auto'"
-        )
-    return supported
 
 
 def _get_trace(

@@ -8,6 +8,8 @@ and the LHB recurrence against :class:`LoadHistoryBuffer` — hit masks
 windows, and the oracle configuration.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,7 @@ from repro.gpu.fastpath import (
     FastPathUnsupported,
     distinct_count,
     dominance_counts,
+    fast_path_fallback_reason,
     lru_hit_mask,
     prev_in_group,
     replay_trace_fast,
@@ -152,6 +155,15 @@ LHB_CONFIGS = [
     dict(num_entries=64, assoc=1, lifetime=3, hashed_index=False),
     dict(num_entries=None, assoc=1, lifetime=None, hashed_index=True),
     dict(num_entries=None, assoc=1, lifetime=5, hashed_index=True),
+    # Set-associative organisations (Figure 12's sweep axis): the
+    # offline per-set LRU resolution must reproduce the event-level
+    # dead-entry-preferring eviction bit for bit.
+    dict(num_entries=16, assoc=2, lifetime=None, hashed_index=True),
+    dict(num_entries=16, assoc=4, lifetime=7, hashed_index=True),
+    dict(num_entries=16, assoc=4, lifetime=None, hashed_index=False),
+    dict(num_entries=64, assoc=8, lifetime=3, hashed_index=False),
+    dict(num_entries=64, assoc=8, lifetime=40, hashed_index=True),
+    dict(num_entries=8, assoc=8, lifetime=13, hashed_index=True),
 ]
 
 
@@ -188,6 +200,52 @@ class TestSimulateLhbStream:
                     ref.stats, counter
                 ), (config, counter)
 
+    @pytest.mark.parametrize("config", LHB_CONFIGS)
+    def test_matches_event_level_lhb_with_pids(self, rng, config):
+        """PID-tagged streams (multi-kernel interleavings): the PID
+        folds into the tag key but never into the set index."""
+        for trial in range(2):
+            n = 500
+            element = rng.integers(0, 40, size=n, dtype=np.int64)
+            batch = rng.integers(0, 3, size=n, dtype=np.int64)
+            pid = rng.integers(0, 3, size=n, dtype=np.int64)
+
+            ref = LoadHistoryBuffer(**config)
+            expected = np.array(
+                [
+                    ref.access(int(e), int(b), dest_reg=0, pid=int(p)).hit
+                    for e, b, p in zip(element, batch, pid)
+                ]
+            )
+
+            fast = LoadHistoryBuffer(**config)
+            got = simulate_lhb_stream(element, batch, fast, pid=pid)
+
+            np.testing.assert_array_equal(got, expected, err_msg=str(config))
+            assert dataclasses.asdict(fast.stats) == dataclasses.asdict(
+                ref.stats
+            ), config
+
+    def test_negative_elements_merge_padding(self, rng):
+        """Merged-padding streams carry negative element IDs; the
+        set-index and tag arithmetic must match the event path there
+        too (Python %: non-negative for positive divisors)."""
+        config = dict(num_entries=16, assoc=4, lifetime=9, hashed_index=False)
+        n = 400
+        element = rng.integers(-8, 24, size=n, dtype=np.int64)
+        batch = rng.integers(0, 2, size=n, dtype=np.int64)
+        ref = LoadHistoryBuffer(**config)
+        expected = np.array(
+            [
+                ref.access(int(e), int(b), dest_reg=0).hit
+                for e, b in zip(element, batch)
+            ]
+        )
+        fast = LoadHistoryBuffer(**config)
+        got = simulate_lhb_stream(element, batch, fast)
+        np.testing.assert_array_equal(got, expected)
+        assert dataclasses.asdict(fast.stats) == dataclasses.asdict(ref.stats)
+
     def test_empty_stream(self):
         buf = LoadHistoryBuffer(num_entries=16)
         empty = np.array([], dtype=np.int64)
@@ -207,6 +265,8 @@ class TestSimulateLhbStream:
 
 class TestSupport:
     def test_supported_configurations(self):
+        """Every fresh LHB organisation is covered — including the
+        set-associative ones that used to fall back."""
         direct = LoadHistoryBuffer(num_entries=16, assoc=1)
         oracle = LoadHistoryBuffer(num_entries=None)
         wide = LoadHistoryBuffer(num_entries=16, assoc=4)
@@ -215,14 +275,41 @@ class TestSupport:
         assert supports_fast_path(EliminationMode.DUPLO, direct)
         assert supports_fast_path(EliminationMode.DUPLO, oracle)
         assert supports_fast_path(EliminationMode.WIR, direct)
-        assert not supports_fast_path(EliminationMode.DUPLO, wide)
+        assert supports_fast_path(EliminationMode.DUPLO, wide)
 
-    def test_replay_raises_for_set_associative_lhb(self):
+    def test_fallback_reason_for_warm_lhb(self):
+        """The one residual fallback: a buffer that already served
+        accesses has no closed form (the recurrences assume an empty
+        start state)."""
+        warm = LoadHistoryBuffer(num_entries=16, assoc=1)
+        warm.access(1, 0, dest_reg=0)
+        assert not supports_fast_path(EliminationMode.DUPLO, warm)
+        assert (
+            fast_path_fallback_reason(EliminationMode.DUPLO, warm)
+            == "warm-lhb"
+        )
+        # BASELINE never consults the buffer, so warmth is irrelevant.
+        assert supports_fast_path(EliminationMode.BASELINE, warm)
+
+    def test_replay_raises_for_warm_lhb(self):
+        spec = make_spec()
+        options = SimulationOptions(max_ctas=1)
+        trace = generate_sm_trace(spec, TITAN_V, BASELINE_KERNEL, options)
+        warm = LoadHistoryBuffer(num_entries=16, assoc=4)
+        warm.access(1, 0, dest_reg=0)
+        with pytest.raises(FastPathUnsupported, match="warm-lhb"):
+            replay_trace_fast(
+                trace, spec, TITAN_V, options, EliminationMode.DUPLO, warm
+            )
+
+    def test_replay_accepts_set_associative_lhb(self):
+        """Regression for the closed fallback: a fresh wide LHB runs
+        the vectorised replay outright."""
         spec = make_spec()
         options = SimulationOptions(max_ctas=1)
         trace = generate_sm_trace(spec, TITAN_V, BASELINE_KERNEL, options)
         wide = LoadHistoryBuffer(num_entries=16, assoc=4)
-        with pytest.raises(FastPathUnsupported, match="assoc"):
-            replay_trace_fast(
-                trace, spec, TITAN_V, options, EliminationMode.DUPLO, wide
-            )
+        stats = replay_trace_fast(
+            trace, spec, TITAN_V, options, EliminationMode.DUPLO, wide
+        )
+        assert stats.lhb_lookups > 0

@@ -18,6 +18,7 @@ import io
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.conv.workloads import get_layer
 from repro.gpu.config import (
     BASELINE_KERNEL,
@@ -28,6 +29,7 @@ from repro.gpu.config import (
 from repro.gpu.fastpath import FastPathUnsupported, replay_trace_fast
 from repro.gpu.kernel import generate_sm_trace
 from repro.gpu.ldst import EliminationMode, replay_trace
+from repro.gpu.multikernel import simulate_shared_lhb
 from repro.gpu.simulator import (
     _resolve_fast_path,
     make_lhb,
@@ -62,16 +64,17 @@ def layer_trace(network, layer, options=OPTIONS, kernel=BASELINE_KERNEL):
     return _traces[key]
 
 
-def both_replays(trace, spec, options, mode, lhb_entries="default", **kwargs):
+def both_replays(
+    trace, spec, options, mode, lhb_entries="default", lhb_assoc=1, **kwargs
+):
     """Run the event and fast replays on fresh, identical state."""
 
     def fresh_lhb():
         if mode is EliminationMode.BASELINE:
             return None
-        if lhb_entries == "default":
-            return make_lhb(1024, 1, options.lhb_lifetime, options.lhb_hashed_index)
+        entries = 1024 if lhb_entries == "default" else lhb_entries
         return make_lhb(
-            lhb_entries, 1, options.lhb_lifetime, options.lhb_hashed_index
+            entries, lhb_assoc, options.lhb_lifetime, options.lhb_hashed_index
         )
 
     event = replay_trace(trace, spec, TITAN_V, options, mode, fresh_lhb(), **kwargs)
@@ -87,19 +90,31 @@ def assert_identical(event, fast, context):
 
 @pytest.mark.parametrize("network,layer", TABLE_I_LAYERS)
 @pytest.mark.parametrize(
-    "mode,lhb_entries",
+    "mode,lhb_entries,lhb_assoc",
     [
-        (EliminationMode.BASELINE, "default"),
-        (EliminationMode.DUPLO, "default"),  # paper's 1024-entry LHB
-        (EliminationMode.DUPLO, None),  # oracle
-        (EliminationMode.WIR, "default"),
+        (EliminationMode.BASELINE, "default", 1),
+        (EliminationMode.DUPLO, "default", 1),  # paper's 1024-entry LHB
+        (EliminationMode.DUPLO, None, 1),  # oracle
+        (EliminationMode.WIR, "default", 1),
+        # Figure 12's associativity axis, per-set LRU in closed form.
+        # The 64-entry 4-way point is deliberately conflict-rich.
+        (EliminationMode.BASELINE, "default", 4),
+        (EliminationMode.DUPLO, "default", 2),
+        (EliminationMode.DUPLO, 64, 4),
+        (EliminationMode.DUPLO, "default", 8),
+        (EliminationMode.DUPLO, None, 4),  # oracle ignores geometry
+        (EliminationMode.WIR, 64, 4),
     ],
-    ids=["baseline", "duplo", "oracle", "wir"],
+    ids=[
+        "baseline", "duplo", "oracle", "wir",
+        "baseline-4way", "duplo-2way", "duplo-4way-small", "duplo-8way",
+        "oracle-4way", "wir-4way-small",
+    ],
 )
-def test_bit_identical_on_table1_layers(network, layer, mode, lhb_entries):
+def test_bit_identical_on_table1_layers(network, layer, mode, lhb_entries, lhb_assoc):
     spec, trace = layer_trace(network, layer)
-    event, fast = both_replays(trace, spec, OPTIONS, mode, lhb_entries)
-    assert_identical(event, fast, (network, layer, mode, lhb_entries))
+    event, fast = both_replays(trace, spec, OPTIONS, mode, lhb_entries, lhb_assoc)
+    assert_identical(event, fast, (network, layer, mode, lhb_entries, lhb_assoc))
     # Not vacuous: the trace really exercised the hierarchy.
     assert event.loads_total > 0 and event.l1_accesses > 0
 
@@ -159,30 +174,78 @@ class TestSimulateLayerSwitch:
         assert on.cycles == off.cycles
         assert on.time_ms == off.time_ms
 
-    def test_auto_falls_back_for_set_associative(self, monkeypatch):
-        """assoc > 1 silently routes to the event path under auto.
-
-        A forced ``$REPRO_FAST_PATH=on`` (the CI equivalence lane)
-        would intentionally turn this into an error, so the override
-        is cleared — this test is about the unforced default.
+    def test_set_associative_on_off_identical(self, monkeypatch):
+        """assoc > 1 now runs the vectorised replay under auto — and
+        both implementations agree end to end through simulate_layer.
         """
         monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
         spec = get_layer("gan", "TC3")
-        auto = simulate_layer(
-            spec, EliminationMode.DUPLO, lhb_assoc=4, options=OPTIONS
+        on = simulate_layer(
+            spec, EliminationMode.DUPLO, lhb_assoc=4,
+            options=dataclasses.replace(OPTIONS, fast_path="on"),
         )
         off = simulate_layer(
             spec, EliminationMode.DUPLO, lhb_assoc=4,
             options=dataclasses.replace(OPTIONS, fast_path="off"),
         )
-        assert dataclasses.asdict(auto.stats) == dataclasses.asdict(off.stats)
+        assert dataclasses.asdict(on.stats) == dataclasses.asdict(off.stats)
+        assert on.cycles == off.cycles
 
-    def test_forced_on_rejects_set_associative(self):
-        spec = get_layer("gan", "TC3")
-        with pytest.raises(FastPathUnsupported):
-            simulate_layer(
-                spec, EliminationMode.DUPLO, lhb_assoc=4,
-                options=dataclasses.replace(OPTIONS, fast_path="on"),
+    def test_no_covered_config_falls_back(self, monkeypatch):
+        """Every simulate_layer configuration in the matrix takes the
+        fast path under auto: a silent regression to the event replay
+        shows up as a non-zero ``fastpath.fallback`` counter."""
+        monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+        obs.enable()
+        obs.reset()
+        try:
+            spec = get_layer("gan", "TC3")
+            for mode, entries, assoc in [
+                (EliminationMode.BASELINE, 1024, 1),
+                (EliminationMode.DUPLO, 1024, 1),
+                (EliminationMode.DUPLO, 1024, 4),
+                (EliminationMode.DUPLO, 1024, 8),
+                (EliminationMode.DUPLO, None, 1),
+                (EliminationMode.WIR, 64, 2),
+            ]:
+                simulate_layer(
+                    spec, mode, lhb_entries=entries, lhb_assoc=assoc,
+                    options=OPTIONS,
+                )
+            counters = obs.snapshot()["counters"]
+            assert "fastpath.fallback" not in counters, counters
+            assert counters.get("fastpath.replays", 0) > 0
+        finally:
+            obs.reset()
+            obs.disable()
+
+    def test_warm_lhb_fallback_is_observable(self, monkeypatch):
+        """The one residual fallback (warm caller-supplied buffer) is
+        counted with its reason label instead of staying silent."""
+        monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+        warm = make_lhb(1024, 1, 4096, True)
+        warm.access(1, 0, dest_reg=0)
+        obs.enable()
+        obs.reset()
+        try:
+            assert not _resolve_fast_path(
+                SimulationOptions(fast_path="auto"), EliminationMode.DUPLO,
+                warm,
+            )
+            counters = obs.snapshot()["counters"]
+            assert counters.get("fastpath.fallback") == 1
+            assert counters.get("fastpath.fallback.warm-lhb") == 1
+        finally:
+            obs.reset()
+            obs.disable()
+
+    def test_forced_on_rejects_warm_lhb(self):
+        warm = make_lhb(1024, 1, 4096, True)
+        warm.access(1, 0, dest_reg=0)
+        with pytest.raises(FastPathUnsupported, match="warm-lhb"):
+            _resolve_fast_path(
+                SimulationOptions(fast_path="on"), EliminationMode.DUPLO,
+                warm,
             )
 
     def test_env_override_steers_auto(self, monkeypatch):
@@ -201,6 +264,86 @@ class TestSimulateLayerSwitch:
     def test_invalid_choice_rejected(self):
         with pytest.raises(ValueError, match="fast_path"):
             SimulationOptions(fast_path="sometimes")
+
+
+class TestMultiKernelEquivalence:
+    """PID-tagged shared-LHB interleavings: the fast path folds the PID
+    into the tag key and must reproduce the event scheduler exactly —
+    per-kernel hit counts and every shared-buffer counter."""
+
+    @staticmethod
+    def _run(specs, options, entries, assoc, chunk):
+        lhb = make_lhb(entries, assoc, options.lhb_lifetime,
+                       options.lhb_hashed_index)
+        shares = simulate_shared_lhb(
+            specs, entries, chunk=chunk, options=options, lhb=lhb
+        )
+        return shares, lhb
+
+    @pytest.mark.parametrize("network,layer", TABLE_I_LAYERS)
+    def test_bit_identical_shared_replay(self, network, layer):
+        """Each Table I layer co-scheduled with a second kernel."""
+        specs = [get_layer(network, layer), get_layer("gan", "TC3")]
+        on = dataclasses.replace(OPTIONS, fast_path="on")
+        off = dataclasses.replace(OPTIONS, fast_path="off")
+        s_on, l_on = self._run(specs, on, 256, 1, 128)
+        s_off, l_off = self._run(specs, off, 256, 1, 128)
+        assert dataclasses.asdict(l_on.stats) == dataclasses.asdict(
+            l_off.stats
+        ), (network, layer)
+        for a, b in zip(s_on, s_off):
+            assert (a.pid, a.lookups, a.hits) == (b.pid, b.lookups, b.hits)
+        assert sum(s.lookups for s in s_on) == l_on.stats.lookups
+
+    @pytest.mark.parametrize("entries,assoc", [(256, 4), (64, 8), (None, 1)])
+    @pytest.mark.parametrize("chunk", [64, 997])
+    def test_geometry_and_chunk_axes(self, entries, assoc, chunk):
+        """Associativity x interleave-granularity sweep, incl. oracle
+        and a chunk size coprime to the stream lengths."""
+        specs = [get_layer("gan", "TC3"), get_layer("resnet", "C2")]
+        on = dataclasses.replace(OPTIONS, fast_path="on")
+        off = dataclasses.replace(OPTIONS, fast_path="off")
+        s_on, l_on = self._run(specs, on, entries, assoc, chunk)
+        s_off, l_off = self._run(specs, off, entries, assoc, chunk)
+        assert dataclasses.asdict(l_on.stats) == dataclasses.asdict(
+            l_off.stats
+        ), (entries, assoc, chunk)
+        for a, b in zip(s_on, s_off):
+            assert (a.lookups, a.hits) == (b.lookups, b.hits)
+
+    def test_three_kernels_hold_isolation(self):
+        """PIDs keep identical kernels from aliasing: three copies of
+        one spec share no tags, so hits match the solo run only when
+        capacity permits — here we just require fast == event."""
+        spec = get_layer("gan", "TC3")
+        on = dataclasses.replace(OPTIONS, fast_path="on")
+        off = dataclasses.replace(OPTIONS, fast_path="off")
+        s_on, l_on = self._run([spec] * 3, on, 128, 2, 32)
+        s_off, l_off = self._run([spec] * 3, off, 128, 2, 32)
+        assert dataclasses.asdict(l_on.stats) == dataclasses.asdict(
+            l_off.stats
+        )
+        for a, b in zip(s_on, s_off):
+            assert (a.lookups, a.hits) == (b.lookups, b.hits)
+
+    def test_warm_lhb_routes_to_event_path(self, monkeypatch):
+        """A warm shared buffer cannot use the closed forms: auto falls
+        back (observable), and the result still matches a pure event
+        run continued from the same state."""
+        monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
+        specs = [get_layer("gan", "TC3")]
+        warm_a = make_lhb(128, 1, 4096, True)
+        warm_a.access(7, 0, dest_reg=0)
+        warm_b = make_lhb(128, 1, 4096, True)
+        warm_b.access(7, 0, dest_reg=0)
+        auto = dataclasses.replace(OPTIONS, fast_path="auto")
+        off = dataclasses.replace(OPTIONS, fast_path="off")
+        s_auto = simulate_shared_lhb(specs, 128, options=auto, lhb=warm_a)
+        s_off = simulate_shared_lhb(specs, 128, options=off, lhb=warm_b)
+        assert dataclasses.asdict(warm_a.stats) == dataclasses.asdict(
+            warm_b.stats
+        )
+        assert s_auto[0].hits == s_off[0].hits
 
 
 class TestTraceSerialization:

@@ -1,0 +1,282 @@
+"""Differential fuzzing: vectorised replay vs. the event-level path.
+
+The closed forms in :mod:`repro.gpu.fastpath` claim *bit-identical*
+counters to the stateful models for every configuration they accept —
+including the two paths added last (offline per-set LRU for
+set-associative LHBs, PID-folded tags for multi-kernel interleavings).
+Hypothesis hunts the corners a fixed test matrix misses: degenerate
+stream lengths, negative (merged-padding) element IDs, lifetime
+windows straddling chunk boundaries, single-set buffers, chunk sizes
+coprime to stream lengths, and tiny cache geometries.
+
+Tier-1 runs a small number of examples per property (override with
+``REPRO_FUZZ_EXAMPLES``); the ``slow``-marked variants go deep and run
+in the scheduled/CI lanes only.
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.config import (
+    BASELINE_KERNEL,
+    GPUConfig,
+    SimulationOptions,
+)
+from repro.gpu.fastpath import replay_trace_fast, simulate_lhb_stream
+from repro.gpu.kernel import generate_sm_trace
+from repro.gpu.ldst import EliminationMode, replay_trace
+from repro.gpu.multikernel import _interleave
+
+from tests.conftest import make_spec
+
+#: Example budget for the tier-1 (fast) properties.  The slow variants
+#: multiply this up; both knobs are environment-tunable so the CI fuzz
+#: lane can go deeper without a code change.
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+SLOW_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES_SLOW", "300"))
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def lhb_configs(draw):
+    """Every buffer organisation: direct-mapped through single-set
+    fully-associative, oracle, finite/infinite lifetimes."""
+    if draw(st.booleans()) and draw(st.booleans()):  # ~25% oracle
+        entries, assoc = None, 1
+    else:
+        assoc = draw(st.sampled_from([1, 2, 4, 8]))
+        entries = assoc * draw(st.sampled_from([1, 2, 4, 16]))
+    return dict(
+        num_entries=entries,
+        assoc=assoc,
+        lifetime=draw(st.sampled_from([None, 1, 2, 3, 8, 33, 4096])),
+        hashed_index=draw(st.booleans()),
+    )
+
+
+@st.composite
+def lookup_streams(draw, max_len=160, max_pids=3):
+    """(element, batch, pid) int64 arrays of one synthetic stream.
+
+    Element IDs include negatives (the merged-padding convention) and
+    ranges both tighter and wider than any buffer under test.
+    """
+    n = draw(st.integers(0, max_len))
+    hi = draw(st.sampled_from([1, 3, 9, 40, 300]))
+    lo = -draw(st.sampled_from([0, 0, 1, 5]))
+    element = draw(
+        st.lists(st.integers(lo, hi), min_size=n, max_size=n)
+    )
+    batch = draw(
+        st.lists(st.integers(0, 2), min_size=n, max_size=n)
+    )
+    pid = draw(
+        st.lists(st.integers(0, max_pids - 1), min_size=n, max_size=n)
+    )
+    return (
+        np.asarray(element, dtype=np.int64),
+        np.asarray(batch, dtype=np.int64),
+        np.asarray(pid, dtype=np.int64),
+    )
+
+
+@st.composite
+def replay_cases(draw):
+    """Layer geometry x cache geometry x replay options for the full
+    end-to-end trace replay differential."""
+    h = draw(st.integers(2, 5))
+    w = draw(st.integers(2, 5))
+    pad = draw(st.integers(0, 2))
+    spec = make_spec(
+        name="fuzz",
+        batch=draw(st.integers(1, 2)),
+        h=h,
+        w=w,
+        c=draw(st.sampled_from([1, 2, 4])),
+        filters=draw(st.sampled_from([1, 4])),
+        kh=draw(st.integers(1, min(3, h + 2 * pad))),
+        kw=draw(st.integers(1, min(3, w + 2 * pad))),
+        pad=pad,
+        stride=draw(st.integers(1, 2)),
+    )
+    line = draw(st.sampled_from([32, 128]))
+    l1_assoc = draw(st.sampled_from([1, 2, 4]))
+    l2_assoc = draw(st.sampled_from([2, 8]))
+    gpu = GPUConfig(
+        num_sms=1,
+        l1_bytes=line * l1_assoc * draw(st.sampled_from([2, 8, 32])),
+        l1_assoc=l1_assoc,
+        l1_line_bytes=line,
+        l2_bytes=line * l2_assoc * draw(st.sampled_from([8, 64])),
+        l2_assoc=l2_assoc,
+        l2_line_bytes=line,
+    )
+    options = SimulationOptions(
+        max_ctas=1,
+        lhb_lifetime=draw(st.sampled_from([None, 2, 16, 4096])),
+        lhb_hashed_index=draw(st.booleans()),
+        lhb_granularity=draw(st.sampled_from(["fragment", "instruction"])),
+        merge_padding=draw(st.booleans()),
+    )
+    mode = draw(
+        st.sampled_from(
+            [EliminationMode.BASELINE, EliminationMode.DUPLO,
+             EliminationMode.WIR]
+        )
+    )
+    if draw(st.booleans()) and draw(st.booleans()):  # ~25% oracle
+        entries, assoc = None, 1
+    else:
+        assoc = draw(st.sampled_from([1, 2, 4]))
+        entries = assoc * draw(st.sampled_from([2, 16]))
+    return spec, gpu, options, mode, entries, assoc
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (plain event loops)
+# ----------------------------------------------------------------------
+
+def _event_stream(config, element, batch, pid):
+    """Drive the stateful LHB access-by-access."""
+    buf = LoadHistoryBuffer(**config)
+    hits = [
+        buf.access(int(e), int(b), dest_reg=0, pid=int(p)).hit
+        for e, b, p in zip(element, batch, pid)
+    ]
+    return buf, np.asarray(hits, dtype=bool)
+
+
+def _assert_stats_equal(fast, ref, context):
+    assert dataclasses.asdict(fast.stats) == dataclasses.asdict(
+        ref.stats
+    ), context
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(config=lhb_configs(), stream=lookup_streams())
+def test_stream_matches_event_path(config, stream):
+    """Core recurrence: hit mask + all seven counters, any geometry."""
+    element, batch, pid = stream
+    ref, expected = _event_stream(config, element, batch, pid)
+    fast = LoadHistoryBuffer(**config)
+    got = simulate_lhb_stream(element, batch, fast, pid=pid)
+    np.testing.assert_array_equal(got, expected, err_msg=str(config))
+    _assert_stats_equal(fast, ref, config)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(config=lhb_configs(), stream=lookup_streams(max_pids=1))
+def test_stream_omitted_pid_equals_zero_pid(config, stream):
+    """``pid=None`` must be exactly the all-zero PID stream (the
+    single-kernel invariant the replay relies on)."""
+    element, batch, _ = stream
+    a = LoadHistoryBuffer(**config)
+    got_a = simulate_lhb_stream(element, batch, a)
+    b = LoadHistoryBuffer(**config)
+    got_b = simulate_lhb_stream(
+        element, batch, b, pid=np.zeros(len(element), dtype=np.int64)
+    )
+    np.testing.assert_array_equal(got_a, got_b)
+    _assert_stats_equal(a, b, config)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    config=lhb_configs(),
+    streams=st.lists(lookup_streams(max_len=80), min_size=1, max_size=3),
+    chunk=st.sampled_from([1, 3, 64, 997]),
+)
+def test_multikernel_interleave_matches_event_scheduler(
+    config, streams, chunk
+):
+    """The round-robin interleave + PID-folded recurrence reproduces
+    the event scheduler's shared-buffer counters and per-kernel hits."""
+    kernels = [(b, e) for e, b, _ in streams]  # (batch, element) pairs
+
+    # Event reference: the exact scheduler loop of simulate_shared_lhb.
+    ref = LoadHistoryBuffer(**config)
+    cursors = [0] * len(kernels)
+    ref_hits = [0] * len(kernels)
+    live = True
+    while live:
+        live = False
+        for k, (batch, element) in enumerate(kernels):
+            start = cursors[k]
+            if start >= len(element):
+                continue
+            live = True
+            stop = min(start + chunk, len(element))
+            for b, e in zip(batch[start:stop], element[start:stop]):
+                if ref.access(int(e), int(b), 0, pid=k).hit:
+                    ref_hits[k] += 1
+            cursors[k] = stop
+
+    fast = LoadHistoryBuffer(**config)
+    batch_i, element_i, pid_i = _interleave(kernels, chunk)
+    hit = simulate_lhb_stream(element_i, batch_i, fast, pid=pid_i)
+    fast_hits = np.bincount(
+        pid_i[hit], minlength=len(kernels)
+    ).tolist()
+
+    _assert_stats_equal(fast, ref, (config, chunk))
+    assert fast_hits == ref_hits, (config, chunk)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(case=replay_cases())
+def test_full_replay_matches_event_path(case):
+    """End to end through the memory hierarchy: random tiny layers and
+    cache geometries, asdict-equality on the whole LayerStats."""
+    spec, gpu, options, mode, entries, assoc = case
+    trace = generate_sm_trace(spec, gpu, BASELINE_KERNEL, options)
+
+    def fresh_lhb():
+        if mode is EliminationMode.BASELINE:
+            return None
+        return LoadHistoryBuffer(
+            num_entries=entries,
+            assoc=assoc,
+            lifetime=options.lhb_lifetime,
+            hashed_index=options.lhb_hashed_index,
+        )
+
+    event = replay_trace(trace, spec, gpu, options, mode, fresh_lhb())
+    fast = replay_trace_fast(trace, spec, gpu, options, mode, fresh_lhb())
+    assert dataclasses.asdict(event) == dataclasses.asdict(fast), (
+        spec, gpu, options, mode, entries, assoc
+    )
+
+
+# ----------------------------------------------------------------------
+# Deep variants (slow lane)
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+@settings(max_examples=SLOW_EXAMPLES, deadline=None)
+@given(config=lhb_configs(), stream=lookup_streams(max_len=400, max_pids=4))
+def test_stream_matches_event_path_deep(config, stream):
+    element, batch, pid = stream
+    ref, expected = _event_stream(config, element, batch, pid)
+    fast = LoadHistoryBuffer(**config)
+    got = simulate_lhb_stream(element, batch, fast, pid=pid)
+    np.testing.assert_array_equal(got, expected, err_msg=str(config))
+    _assert_stats_equal(fast, ref, config)
+
+
+@pytest.mark.slow
+@settings(max_examples=max(50, SLOW_EXAMPLES // 4), deadline=None)
+@given(case=replay_cases())
+def test_full_replay_matches_event_path_deep(case):
+    test_full_replay_matches_event_path.hypothesis.inner_test(case)

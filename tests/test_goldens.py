@@ -1,10 +1,13 @@
 """Golden regression fixtures for the figure entry points.
 
 ``tests/goldens/*.json`` pins the exact rows of ``figure9`` /
-``figure10`` / ``table2`` on a fixed three-layer subset at
-``max_ctas=2``.  Tolerances are tight (relative 1e-9) — the point is
-to catch refactors that *silently* shift reported numbers, not to
-allow drift.  After an intentional model change, regenerate with::
+``figure10`` / ``figure12`` / ``table2`` / ``multikernel`` on a fixed
+three-layer subset at ``max_ctas=2``.  Tolerances are tight (relative
+1e-9) — the point is to catch refactors that *silently* shift
+reported numbers, not to allow drift: the figure12 fixture pins the
+offline per-set LRU resolution, the multikernel fixture the
+PID-folded shared-buffer replay.  After an intentional model change,
+regenerate with::
 
     PYTHONPATH=src python scripts/make_goldens.py
 
@@ -63,7 +66,7 @@ def _fresh_trace_cache():
 
 def test_golden_config_matches_fixture():
     """The in-test configuration mirrors what the fixtures recorded."""
-    for name in ("figure9", "figure10", "table2"):
+    for name in ("figure9", "figure10", "figure12", "table2", "multikernel"):
         config = _load(name)["config"]
         assert config["layers"] == ["/".join(p) for p in GOLDEN_LAYERS]
         assert config["max_ctas"] == GOLDEN_OPTIONS.max_ctas
@@ -79,6 +82,20 @@ def test_figure10_rows_pinned():
     assert_experiment_matches(exp, _load("figure10"))
 
 
+def test_figure12_rows_pinned():
+    """The associativity sweep — now served by the offline per-set LRU
+    fast path — must keep producing the exact committed numbers."""
+    exp = experiments.figure12(_layers(), GOLDEN_OPTIONS)
+    assert_experiment_matches(exp, _load("figure12"))
+
+
 def test_table2_rows_pinned():
     exp = experiments.table2()
     assert_experiment_matches(exp, _load("table2"))
+
+
+def test_multikernel_rows_pinned():
+    """PID-tagged shared-LHB study, pinned against drift in the
+    interleave or the PID-folded recurrence."""
+    exp = experiments.multikernel_sharing(_layers(), options=GOLDEN_OPTIONS)
+    assert_experiment_matches(exp, _load("multikernel"))
