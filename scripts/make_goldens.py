@@ -11,6 +11,11 @@ subset at ``max_ctas=2`` (see GOLDEN_LAYERS / GOLDEN_OPTIONS,
 mirrored in tests/test_goldens.py) so refactors that should be
 numerically neutral — the vectorised set-associative and PID-tagged
 replays included — cannot silently shift reported results.
+
+``analytic`` additionally pins the analytic engine tier's predictions
+(``repro.analytic.prediction_rows``) on the same layers, so accuracy
+drift in the closed-form model is byte-visible in golden-drift CI
+even while the differential bounds still pass.
 """
 
 import json
@@ -20,6 +25,7 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.analysis import experiments
+from repro.analytic import prediction_rows
 from repro.conv.workloads import get_layer
 from repro.gpu.config import SimulationOptions
 
@@ -41,13 +47,14 @@ def main() -> int:
             layers, options=options
         ),
     }
+    config = {
+        "layers": ["/".join(p) for p in GOLDEN_LAYERS],
+        "max_ctas": GOLDEN_MAX_CTAS,
+    }
     for name, run in runs.items():
         exp = run()
         payload = {
-            "config": {
-                "layers": ["/".join(p) for p in GOLDEN_LAYERS],
-                "max_ctas": GOLDEN_MAX_CTAS,
-            },
+            "config": config,
             "rows": exp.rows,
             "summary": exp.summary,
         }
@@ -56,6 +63,15 @@ def main() -> int:
             json.dump(payload, fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"wrote {path} ({len(exp.rows)} rows)")
+
+    rows = prediction_rows(layers, options=options)
+    path = os.path.join(OUT_DIR, "analytic.json")
+    with open(path, "w") as fh:
+        json.dump(
+            {"config": config, "rows": rows}, fh, indent=1, sort_keys=True
+        )
+        fh.write("\n")
+    print(f"wrote {path} ({len(rows)} rows)")
     return 0
 
 

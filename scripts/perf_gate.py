@@ -3,16 +3,19 @@
 Runs a fixed suite of micro-benchmarks (trace generation, fast- and
 event-path replays — direct-mapped and 8-way set-associative — a
 PID-tagged multi-kernel shared-LHB replay in both implementations, an
-end-to-end baseline/Duplo pair, and a warm-cache sweep rerun), takes
-the **median over N repeats**, and either records a baseline or
-checks the current build against one.
+end-to-end baseline/Duplo pair, a warm-cache sweep rerun, a cold
+fast-path query, and an analytic-tier geometry sweep), takes the
+**median over N repeats**, and either records a baseline or checks
+the current build against one.
 
 Record a fresh baseline (after an intentional perf-relevant change)::
 
     PYTHONPATH=src python scripts/perf_gate.py --record
 
 which writes ``BENCH_<date>.json`` at the repository root — commit it
-together with the change.  Check against the committed baseline (the
+together with the change.  Recording refuses to run from a dirty git
+tree (the baseline must describe a committed state); pass
+``--allow-dirty`` to override deliberately.  Check against the committed baseline (the
 lexicographically newest ``BENCH_*.json``)::
 
     PYTHONPATH=src python scripts/perf_gate.py --check
@@ -24,10 +27,12 @@ The check applies three rules, strictest first:
    drift is a correctness regression, not noise;
 2. **derived ratios** (``fast_path_speedup`` /
    ``assoc_fast_path_speedup`` / ``multikernel_fast_path_speedup`` —
-   event replay over fast replay, measured in the same process on the
-   same inputs) must stay within ``--tolerance`` (default 25%) of the
-   baseline, because ratios cancel host speed and are comparable
-   across machines;
+   event replay over fast replay — and ``analytic_speedup`` — a cold
+   fast-path query over one warm-profile analytic query, target
+   >= 100x — all measured in the same process on the same inputs)
+   must stay within ``--tolerance`` (default 25%) of the baseline,
+   because ratios cancel host speed and are comparable across
+   machines;
 3. **absolute medians** must stay under ``baseline * --time-tolerance``
    (default 3.0x) — a loose catastrophic-regression backstop, since CI
    runners and developer machines differ widely in absolute speed.
@@ -57,6 +62,13 @@ SCHEMA_VERSION = 1
 DEFAULT_REPEATS = 5
 DEFAULT_TOLERANCE = 0.25
 DEFAULT_TIME_TOLERANCE = 3.0
+#: Geometry queries per timed analytic_sweep run (32 distinct
+#: geometries x 10 passes, so the timed body is long enough for a
+#: stable median); the derived ``analytic_speedup`` divides the
+#: cold-query median by the per-query analytic median.
+ANALYTIC_SWEEP_GEOMETRIES = 32
+ANALYTIC_SWEEP_PASSES = 10
+ANALYTIC_SWEEP_QUERIES = ANALYTIC_SWEEP_GEOMETRIES * ANALYTIC_SWEEP_PASSES
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +201,83 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
 
         return run, counters
 
+    def cold_query_setup():
+        """One cold exact query: trace generation plus fast replay.
+
+        This is the cost the analytic tier displaces; the
+        ``analytic_speedup`` ratio divides it by one warm-profile
+        analytic query.
+        """
+        options = SimulationOptions(max_ctas=4)
+
+        def run():
+            trace = generate_sm_trace(
+                yolo_c2, TITAN_V, BASELINE_KERNEL, options
+            )
+            lhb = make_lhb(
+                1024, 1, options.lhb_lifetime, options.lhb_hashed_index
+            )
+            return replay_trace_fast(
+                trace, yolo_c2, TITAN_V, options,
+                EliminationMode.DUPLO, lhb,
+            )
+
+        def counters(stats):
+            return {
+                "lhb_lookups": int(stats.lhb_lookups),
+                "lhb_hits": int(stats.lhb_hits),
+                "eliminated_fragments": int(stats.eliminated_fragments),
+            }
+
+        return run, counters
+
+    def analytic_sweep_setup():
+        """32 LHB-geometry queries answered from one warm profile.
+
+        The profile build (the only trace-stream work the analytic
+        tier ever does) runs once, untimed — matching how sweeps use
+        it: amortised per layer, O(1) per geometry afterwards.
+        """
+        from repro.analytic import clear_profile_cache, layer_profile, predict_stats
+        from repro.core.lhb import LoadHistoryBuffer
+
+        options = SimulationOptions(max_ctas=4)
+        clear_profile_cache()
+        profile = layer_profile(
+            yolo_c2, EliminationMode.DUPLO, TITAN_V, BASELINE_KERNEL, options
+        )
+        geometries = [
+            (sets * assoc, assoc, lifetime, True)
+            for sets in (64, 256, 1024, 4096)
+            for assoc in (1, 2, 4, 8)
+            for lifetime in (4096, None)
+        ]
+        assert len(geometries) == ANALYTIC_SWEEP_GEOMETRIES
+
+        def run():
+            total_hits = 0
+            for _ in range(ANALYTIC_SWEEP_PASSES):
+                for entries, assoc, lifetime, hashed in geometries:
+                    stats = predict_stats(
+                        profile,
+                        LoadHistoryBuffer(
+                            num_entries=entries, assoc=assoc,
+                            lifetime=lifetime, hashed_index=hashed,
+                        ),
+                    )
+                    total_hits += stats.lhb_hits
+            return total_hits
+
+        run()  # untimed warm-up: builds the profile's lazy level tables
+
+        def counters(total_hits):
+            return {
+                "queries": ANALYTIC_SWEEP_QUERIES,
+                "total_lhb_hits": int(total_hits),
+            }
+
+        return run, counters
+
     def warm_sweep_setup():
         import atexit
         import shutil
@@ -229,6 +318,8 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
         "multikernel_event.yolo_gan": lambda: _multikernel_setup(False),
         "simulate_pair.gan_tc3": simulate_pair_setup,
         "sweep.warm_cache": warm_sweep_setup,
+        "cold_query.yolo_c2": cold_query_setup,
+        "analytic_sweep.yolo_c2": analytic_sweep_setup,
     }
 
 
@@ -269,6 +360,13 @@ def derived_ratios(benchmarks: Dict[str, dict]) -> Dict[str, float]:
         event = benchmarks.get(event_key, {}).get("median_s")
         if fast and event:
             ratios[name] = round(event / fast, 2)
+    cold = benchmarks.get("cold_query.yolo_c2", {}).get("median_s")
+    sweep = benchmarks.get("analytic_sweep.yolo_c2", {}).get("median_s")
+    if cold and sweep:
+        # Cold exact query vs ONE analytic query off the warm profile.
+        ratios["analytic_speedup"] = round(
+            cold / (sweep / ANALYTIC_SWEEP_QUERIES), 2
+        )
     return ratios
 
 
@@ -292,6 +390,26 @@ def build_report(repeats: int) -> dict:
 # ----------------------------------------------------------------------
 # Baseline comparison
 # ----------------------------------------------------------------------
+
+def dirty_tree_entries(root: str) -> List[str]:
+    """``git status --porcelain`` lines, or [] when clean / not a repo.
+
+    A recorded baseline embeds the git revision; recording from a
+    dirty tree would pin numbers no commit can reproduce.
+    """
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return []
+    if proc.returncode != 0:
+        return []
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
 
 def find_baseline(path: Optional[str]) -> str:
     if path:
@@ -388,7 +506,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--manifest-out", default=None,
         help="also write a run manifest next to the gate output",
     )
+    parser.add_argument(
+        "--allow-dirty", action="store_true",
+        help="let --record overwrite the baseline from a dirty git tree",
+    )
     args = parser.parse_args(argv)
+
+    if args.record and not args.allow_dirty:
+        dirty = dirty_tree_entries(REPO_ROOT)
+        if dirty:
+            print(
+                "refusing to record a perf baseline from a dirty git tree\n"
+                "(the baseline embeds the git revision; uncommitted changes "
+                "would make it\nirreproducible). Uncommitted entries:"
+            )
+            for line in dirty[:20]:
+                print(f"  {line}")
+            if len(dirty) > 20:
+                print(f"  ... and {len(dirty) - 20} more")
+            print(
+                "\nInspect with `git diff`, commit or stash first, or rerun "
+                "with --allow-dirty\nto record anyway."
+            )
+            return 1
 
     from repro import obs
 

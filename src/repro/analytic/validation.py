@@ -1,0 +1,335 @@
+"""Differential validation of the analytic model against exact replay.
+
+:func:`validate` sweeps a layer x mode x LHB-geometry grid, answering
+each point twice — analytically (:func:`repro.analytic.model
+.predict_stats` over the cached profile) and exactly (trace generation
+plus :func:`repro.gpu.fastpath.replay_trace_fast`, called directly so
+no engine selection or environment override can leak into the exact
+side) — and reports per-metric relative errors.  The committed bound
+table ``tests/goldens/analytic_bounds.json`` caps the worst error per
+metric; ``tests/test_analytic_validation.py`` fails with the report of
+:meth:`ValidationReport.format_failures` when any bound is exceeded.
+
+Error metric: ``|predicted - exact| / max(|exact|, floor)`` with a
+per-metric absolute floor (:data:`METRIC_FLOORS`), so near-zero exact
+values do not inflate relative errors into noise.  Rates use floor
+``1.0`` — their "relative" error *is* the absolute difference, which
+is the right scale for quantities bounded by one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.conv.layer import ConvLayerSpec
+from repro.core.lhb import LoadHistoryBuffer
+from repro.energy.model import EnergyModel, on_chip_energy_reduction
+from repro.gpu.config import (
+    BASELINE_KERNEL,
+    GPUConfig,
+    KernelConfig,
+    SimulationOptions,
+    TITAN_V,
+)
+from repro.gpu.fastpath import replay_trace_fast
+from repro.gpu.kernel import generate_sm_trace
+from repro.gpu.ldst import EliminationMode
+from repro.gpu.stats import LayerStats
+
+from repro.analytic.model import predict_stats
+from repro.analytic.profile import layer_profile
+
+#: Absolute floor per metric: the denominator of the relative error
+#: never drops below it.  Rates (bounded by 1) use floor 1.0 so their
+#: error is the plain absolute difference; count/byte metrics use the
+#: scale below which a discrepancy stops being meaningful.
+METRIC_FLOORS: Dict[str, float] = {
+    "lhb_hit_rate": 1.0,
+    "elimination_rate": 1.0,
+    "l1_hits": 1e4,
+    "l2_hits": 1e4,
+    "dram_read_bytes": 1e6,
+    "on_chip_energy_reduction": 0.05,
+}
+
+#: LHB geometry grid: (entries, assoc, lifetime, hashed_index).
+#: ``entries=None`` is the oracle buffer.  Covers the paper's default
+#: (1024-entry direct-mapped hashed, lifetime 4096), the Figure 12
+#: associativity sweep, tiny/huge buffers, modular indexing, short
+#: and infinite lifetimes.
+DEFAULT_GEOMETRIES: Tuple[
+    Tuple[Optional[int], int, Optional[int], bool], ...
+] = (
+    (1024, 1, 4096, True),
+    (1024, 1, 4096, False),
+    (64, 1, 4096, True),
+    (256, 2, 4096, True),
+    (1024, 4, 4096, True),
+    (2048, 8, 4096, False),
+    (16, 1, 512, True),
+    (4096, 1, None, True),
+    (8192, 8, 64, True),
+    (None, 1, 4096, True),
+    (None, 1, None, True),
+)
+
+
+@dataclass(frozen=True)
+class ValidationCase:
+    """One (layer, mode, geometry, metric) comparison."""
+
+    layer: str
+    mode: str
+    entries: Optional[int]
+    assoc: int
+    lifetime: Optional[int]
+    hashed: bool
+    metric: str
+    predicted: float
+    exact: float
+    error: float
+
+    def describe(self) -> str:
+        geom = (
+            "oracle"
+            if self.entries is None
+            else f"{self.entries}e/{self.assoc}w"
+        )
+        index = "hashed" if self.hashed else "modular"
+        life = "inf" if self.lifetime is None else str(self.lifetime)
+        return (
+            f"{self.metric}: err={self.error:.4%}  "
+            f"predicted={self.predicted:.6g} exact={self.exact:.6g}  "
+            f"at {self.layer} mode={self.mode} lhb={geom} "
+            f"life={life} index={index}"
+        )
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated differential-sweep outcome."""
+
+    points: int = 0
+    worst: Dict[str, ValidationCase] = field(default_factory=dict)
+
+    def record(self, case: ValidationCase) -> None:
+        prior = self.worst.get(case.metric)
+        if prior is None or case.error > prior.error:
+            self.worst[case.metric] = case
+
+    def worst_errors(self) -> Dict[str, float]:
+        return {m: c.error for m, c in sorted(self.worst.items())}
+
+    def failures(
+        self, bounds: Dict[str, float]
+    ) -> List[Tuple[str, float, ValidationCase]]:
+        """(metric, bound, worst case) for every exceeded bound.
+
+        Every metric in ``bounds`` must have been exercised — a bound
+        with no recorded case is itself a failure (the sweep silently
+        stopped covering the metric).
+        """
+        out = []
+        for metric, bound in sorted(bounds.items()):
+            case = self.worst.get(metric)
+            if case is None:
+                case = ValidationCase(
+                    layer="<none>", mode="<none>", entries=None, assoc=0,
+                    lifetime=None, hashed=True, metric=metric,
+                    predicted=float("nan"), exact=float("nan"),
+                    error=float("inf"),
+                )
+            if case.error > bound:
+                out.append((metric, bound, case))
+        return out
+
+    def format_failures(self, bounds: Dict[str, float]) -> str:
+        """Readable worst-offender report for a failing assertion."""
+        lines = [
+            f"analytic validation: {self.points} grid points swept; "
+            "bound violations:"
+        ]
+        for metric, bound, case in self.failures(bounds):
+            lines.append(f"  bound {bound:.4%} exceeded -> {case.describe()}")
+        lines.append("worst error per metric:")
+        for metric, case in sorted(self.worst.items()):
+            lines.append(f"  {case.describe()}")
+        return "\n".join(lines)
+
+
+def _case_metrics(
+    predicted: LayerStats,
+    exact: LayerStats,
+    base_exact: LayerStats,
+    base_pred: LayerStats,
+    energy: EnergyModel,
+) -> Dict[str, Tuple[float, float]]:
+    """(predicted, exact) value pairs for every validated metric."""
+    red_pred = on_chip_energy_reduction(
+        energy.breakdown(base_pred), energy.breakdown(predicted)
+    )
+    red_exact = on_chip_energy_reduction(
+        energy.breakdown(base_exact), energy.breakdown(exact)
+    )
+    return {
+        "lhb_hit_rate": (predicted.lhb_hit_rate, exact.lhb_hit_rate),
+        "elimination_rate": (
+            predicted.elimination_rate, exact.elimination_rate
+        ),
+        "l1_hits": (predicted.l1_hits, exact.l1_hits),
+        "l2_hits": (predicted.l2_hits, exact.l2_hits),
+        "dram_read_bytes": (
+            predicted.dram_read_bytes, exact.dram_read_bytes
+        ),
+        "on_chip_energy_reduction": (red_pred, red_exact),
+    }
+
+
+def relative_error(predicted: float, exact: float, floor: float) -> float:
+    return abs(predicted - exact) / max(abs(exact), floor)
+
+
+#: Geometry subset pinned by the analytic golden fixture: the paper's
+#: default buffer, a set-associative point, and the oracle.
+GOLDEN_GEOMETRIES: Tuple[
+    Tuple[Optional[int], int, Optional[int], bool], ...
+] = (
+    (1024, 1, 4096, True),
+    (256, 2, 4096, True),
+    (None, 1, None, True),
+)
+
+
+def prediction_rows(
+    layers: Sequence[ConvLayerSpec],
+    modes: Iterable[EliminationMode] = (
+        EliminationMode.DUPLO,
+        EliminationMode.WIR,
+    ),
+    geometries: Sequence[
+        Tuple[Optional[int], int, Optional[int], bool]
+    ] = GOLDEN_GEOMETRIES,
+    gpu: GPUConfig = TITAN_V,
+    kernel: KernelConfig = BASELINE_KERNEL,
+    options: SimulationOptions = SimulationOptions(max_ctas=2),
+) -> List[Dict[str, object]]:
+    """Analytic predictions as JSON-serialisable rows.
+
+    Feeds the ``tests/goldens/analytic.json`` fixture: one row per
+    (layer, mode, geometry) with the validated metrics plus the raw
+    counters the model claims exact, so any accuracy drift — in the
+    exact level tables or the interpolated traffic — is byte-visible
+    in golden-drift CI.
+    """
+    energy = EnergyModel()
+    rows: List[Dict[str, object]] = []
+    for spec in layers:
+        base = predict_stats(
+            layer_profile(spec, EliminationMode.BASELINE, gpu, kernel, options),
+            None,
+        )
+        base_bd = energy.breakdown(base)
+        for mode in modes:
+            profile = layer_profile(spec, mode, gpu, kernel, options)
+            for entries, assoc, lifetime, hashed in geometries:
+                stats = predict_stats(
+                    profile,
+                    LoadHistoryBuffer(
+                        num_entries=entries, assoc=assoc,
+                        lifetime=lifetime, hashed_index=hashed,
+                    ),
+                )
+                rows.append({
+                    "layer": spec.qualified_name,
+                    "mode": mode.value,
+                    "lhb_entries": entries,
+                    "lhb_assoc": assoc,
+                    "lhb_lifetime": lifetime,
+                    "hashed_index": hashed,
+                    "lhb_lookups": stats.lhb_lookups,
+                    "lhb_hits": stats.lhb_hits,
+                    "eliminated_fragments": stats.eliminated_fragments,
+                    "lhb_hit_rate": stats.lhb_hit_rate,
+                    "elimination_rate": stats.elimination_rate,
+                    "l1_hits": stats.l1_hits,
+                    "l2_hits": stats.l2_hits,
+                    "dram_read_bytes": stats.dram_read_bytes,
+                    "on_chip_energy_reduction": on_chip_energy_reduction(
+                        base_bd, energy.breakdown(stats)
+                    ),
+                })
+    return rows
+
+
+def validate(
+    layers: Sequence[ConvLayerSpec],
+    modes: Iterable[EliminationMode] = (
+        EliminationMode.DUPLO,
+        EliminationMode.WIR,
+    ),
+    geometries: Sequence[
+        Tuple[Optional[int], int, Optional[int], bool]
+    ] = DEFAULT_GEOMETRIES,
+    gpu: GPUConfig = TITAN_V,
+    kernel: KernelConfig = BASELINE_KERNEL,
+    options: SimulationOptions = SimulationOptions(max_ctas=2),
+    predict=predict_stats,
+) -> ValidationReport:
+    """Differential sweep: analytic vs exact replay over the grid.
+
+    The exact side calls trace generation and the columnar replay
+    directly — no engine tiering, no caches, no environment coupling.
+    ``predict`` is injectable so the suite's meta-test can loosen a
+    predictor and demonstrate the harness catches it.
+    """
+    energy = EnergyModel()
+    report = ValidationReport()
+    for spec in layers:
+        trace = generate_sm_trace(spec, gpu, kernel, options)
+        base_exact = replay_trace_fast(
+            trace, spec, gpu, options, EliminationMode.BASELINE, None
+        )
+        base_prof = layer_profile(
+            spec, EliminationMode.BASELINE, gpu, kernel, options
+        )
+        base_pred = predict(base_prof, None)
+        for mode in modes:
+            if mode is EliminationMode.BASELINE:
+                continue  # the baseline feeds every mode's energy delta
+            profile = layer_profile(spec, mode, gpu, kernel, options)
+            for entries, assoc, lifetime, hashed in geometries:
+                exact_lhb = LoadHistoryBuffer(
+                    num_entries=entries, assoc=assoc, lifetime=lifetime,
+                    hashed_index=hashed,
+                )
+                exact = replay_trace_fast(
+                    trace, spec, gpu, options, mode, exact_lhb
+                )
+                pred_lhb = LoadHistoryBuffer(
+                    num_entries=entries, assoc=assoc, lifetime=lifetime,
+                    hashed_index=hashed,
+                )
+                predicted = predict(profile, pred_lhb)
+                report.points += 1
+                pairs = _case_metrics(
+                    predicted, exact, base_exact, base_pred, energy
+                )
+                for metric, (p, e) in pairs.items():
+                    report.record(
+                        ValidationCase(
+                            layer=spec.qualified_name,
+                            mode=mode.value,
+                            entries=entries,
+                            assoc=assoc,
+                            lifetime=lifetime,
+                            hashed=hashed,
+                            metric=metric,
+                            predicted=float(p),
+                            exact=float(e),
+                            error=relative_error(
+                                float(p), float(e), METRIC_FLOORS[metric]
+                            ),
+                        )
+                    )
+    return report

@@ -72,6 +72,15 @@ def _add_fast_path_flag(parser: argparse.ArgumentParser) -> None:
         "on forces it (error if unsupported), off replays event by "
         "event; results are bit-identical either way",
     )
+    parser.add_argument(
+        "--engine", choices=["auto", "analytic", "fast", "event"],
+        default="auto",
+        help="simulation tier: auto keeps the exact replay tiering "
+        "(honouring $REPRO_ENGINE), analytic answers covered configs "
+        "from the closed-form profile (exact LHB counters, "
+        "bounded-error traffic, ~100x faster), fast/event pin the "
+        "exact replay implementations",
+    )
 
 
 def _options(args: argparse.Namespace, **overrides) -> SimulationOptions:
@@ -79,6 +88,7 @@ def _options(args: argparse.Namespace, **overrides) -> SimulationOptions:
     return SimulationOptions(
         max_ctas=args.max_ctas,
         fast_path=getattr(args, "fast_path", "auto"),
+        engine=getattr(args, "engine", "auto"),
         **overrides,
     )
 

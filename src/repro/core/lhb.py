@@ -143,15 +143,20 @@ class LoadHistoryBuffer:
         self.hashed_index = hashed_index
         self.stats = LHBStats()
         self._seq = 0
-        if num_entries is None:
-            self._oracle: Dict[Tag, _Entry] = {}
-            self._sets: List[List[_Entry]] = []
-            self.num_sets = 0
-        else:
-            self.num_sets = num_entries // assoc
-            self._sets = [[] for _ in range(self.num_sets)]
-            self._oracle = {}
+        self._oracle: Dict[Tag, _Entry] = {}
+        # Per-set storage is allocated on first event-path access:
+        # construction stays O(1), so analytic-tier geometry sweeps
+        # (which build a buffer per query only to carry its geometry
+        # and stats) do not pay for num_sets empty lists.
+        self._lazy_sets: Optional[List[List[_Entry]]] = None
+        self.num_sets = 0 if num_entries is None else num_entries // assoc
         self._seen_tags: set = set()
+
+    @property
+    def _sets(self) -> List[List[_Entry]]:
+        if self._lazy_sets is None:
+            self._lazy_sets = [[] for _ in range(self.num_sets)]
+        return self._lazy_sets
 
     @property
     def is_oracle(self) -> bool:
@@ -303,8 +308,8 @@ class LoadHistoryBuffer:
         """Drop all entries (kernel boundary / power-gating)."""
         if self.is_oracle:
             self._oracle.clear()
-        else:
-            for ways in self._sets:
+        elif self._lazy_sets is not None:
+            for ways in self._lazy_sets:
                 ways.clear()
 
     # ------------------------------------------------------------------
@@ -314,7 +319,9 @@ class LoadHistoryBuffer:
         """Number of currently valid (non-expired) entries."""
         if self.is_oracle:
             return sum(self._alive(e) for e in self._oracle.values())
-        return sum(self._alive(e) for ways in self._sets for e in ways)
+        if self._lazy_sets is None:
+            return 0
+        return sum(self._alive(e) for ways in self._lazy_sets for e in ways)
 
     def tag_bits(
         self,

@@ -234,6 +234,19 @@ class SimulationOptions:
     #: Both paths are bit-identical, so this never changes results —
     #: only wall-clock.
     fast_path: str = "auto"
+    #: Simulation engine tier.  "auto" keeps today's exact behaviour
+    #: (fast replay where representable, else event replay) unless the
+    #: ``REPRO_ENGINE`` environment variable overrides it.  "analytic"
+    #: answers covered configurations from the closed-form profile of
+    #: :mod:`repro.analytic` — approximate traffic counters, exact LHB
+    #: counters, no trace — and falls back to the exact tiering where
+    #: uncovered (counted under ``analytic.fallback``).  "fast" pins
+    #: the vectorised replay (event path only for its residual
+    #: fallback); "event" pins the reference event replay.  The two
+    #: exact tiers are bit-identical, so like ``fast_path`` the field
+    #: is normalised out of cache keys; the analytic tier is
+    #: approximate and therefore never touches the result cache.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.lhb_granularity not in ("fragment", "instruction"):
@@ -245,4 +258,9 @@ class SimulationOptions:
             raise ValueError(
                 f"fast_path must be 'auto', 'on' or 'off', "
                 f"got {self.fast_path!r}"
+            )
+        if self.engine not in ("auto", "analytic", "fast", "event"):
+            raise ValueError(
+                f"engine must be 'auto', 'analytic', 'fast' or 'event', "
+                f"got {self.engine!r}"
             )

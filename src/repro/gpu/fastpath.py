@@ -342,6 +342,43 @@ def lru_hit_mask(lines: np.ndarray, set_mask: int, assoc: int) -> np.ndarray:
     return hits
 
 
+def windowed_distinct_counts(
+    group: np.ndarray, tag: np.ndarray
+) -> np.ndarray:
+    """Per-access distinct-tag count inside the reuse window of its group.
+
+    For each access ``i``, counts the distinct *other* tags that touched
+    ``group[i]`` strictly between ``i`` and the previous access of
+    ``tag[i]`` (any group); ``-1`` when the tag was never seen before.
+    Contract: equal tags always carry equal groups (the LHB's set index
+    is a function of the tag's element ID), so the window of an access
+    lies entirely inside its group's block once the stream is
+    set-grouped — the same decomposition :func:`lru_hit_mask` uses,
+    except the raw stack distances are returned instead of being
+    compared against an associativity.
+
+    This is the geometry-profiling primitive of :mod:`repro.analytic`:
+    with ``group`` = the set index at one power-of-two level, the
+    returned distances decide LRU residency for *every* associativity
+    at that set count.
+    """
+    n = len(tag)
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return out
+    order = stable_order(np.asarray(group, dtype=np.int64))
+    s_tag = np.asarray(tag, dtype=np.int64)[order]
+    prev_s = prev_in_group(s_tag)  # same tag => same group => same block
+    ip = np.nonzero(prev_s >= 0)[0]
+    if len(ip):
+        # #{j <= qt : prev_s[j] < qt} == qt + 1 (prev pointers sit
+        # strictly below their own index), so the prefix count minus
+        # that closed form is exactly the in-window distinct count.
+        counts = dominance_counts(prev_s, ip - 1, prev_s[ip])
+        out[order[ip]] = counts - (prev_s[ip] + 1)
+    return out
+
+
 # ----------------------------------------------------------------------
 # LHB recurrence
 # ----------------------------------------------------------------------

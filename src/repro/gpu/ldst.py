@@ -62,6 +62,25 @@ def _load_ids(
     load_addr: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-load ``(consults_lhb, batch_id, element_id)`` arrays."""
+    return load_ids_for(spec, options, mode, load_kind, load_addr, trace.lda)
+
+
+def load_ids_for(
+    spec: ConvLayerSpec,
+    options: SimulationOptions,
+    mode: EliminationMode,
+    load_kind: np.ndarray,
+    load_addr: np.ndarray,
+    lda: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Trace-free twin of :func:`_load_ids`.
+
+    Takes the load stream as plain arrays plus the workspace pitch so
+    callers that never materialise a :class:`KernelTrace` — the
+    analytic profiler — share the exact consult semantics of both
+    replay paths (which ID generator, which loads consult, which
+    fall through untranslated).
+    """
     is_a = (load_kind == LOAD_A) | (load_kind == LOAD_A_SHARED)
     if mode is EliminationMode.WIR:
         # Same-address reuse: the "ID" is just the fragment address,
@@ -74,7 +93,7 @@ def _load_ids(
         zeros = np.zeros(len(load_addr), dtype=np.int64)
         return np.zeros(len(load_addr), dtype=bool), zeros, zeros
 
-    info = build_convolution_info(spec, WORKSPACE_BASE, lda=trace.lda, pid=options.pid)
+    info = build_convolution_info(spec, WORKSPACE_BASE, lda=lda, pid=options.pid)
     idgen = IDGenerator(
         spec=spec,
         workspace_base=info.workspace_base,

@@ -38,6 +38,7 @@ from repro.gpu.config import (
 from repro.gpu.fastpath import (
     FAST_PATH_ENV,
     FastPathUnsupported,
+    fast_path_fallback_reason,
     replay_trace_fast,
     resolve_fast_path as _resolve_fast_path,
     supports_fast_path,
@@ -168,7 +169,7 @@ def make_lhb(
 def _record_layer_metrics(
     spec: ConvLayerSpec,
     mode: EliminationMode,
-    trace: KernelTrace,
+    events: int,
     full_stats: LayerStats,
     lhb: Optional[LoadHistoryBuffer],
 ) -> None:
@@ -179,9 +180,12 @@ def _record_layer_metrics(
     single-layer run ``--metrics-out`` matches ``result.stats``
     exactly; ``lhb.raw.*`` are the buffer's own (unscaled, traced
     prefix) counters published by :meth:`~repro.core.lhb.LHBStats`.
+    ``events`` is the traced event count — measured off the trace on
+    the replay tiers, closed-form on the analytic tier (identical for
+    the explicit kernel, so the counter is engine-invariant).
     """
     obs.add("sim.layers_simulated")
-    obs.add("sim.events_replayed", int(trace.kind.size))
+    obs.add("sim.events_replayed", events)
     obs.add("sim.lhb.lookups", full_stats.lhb_lookups)
     obs.add("sim.lhb.hits", full_stats.lhb_hits)
     obs.add("sim.lhb.renames", full_stats.lhb_hits)
@@ -198,7 +202,7 @@ def _record_layer_metrics(
         "simulated %s mode=%s events=%d lhb_hit_rate=%.3f",
         spec.qualified_name,
         mode.value,
-        int(trace.kind.size),
+        events,
         full_stats.lhb_hit_rate,
     )
 
@@ -219,44 +223,95 @@ def simulate_layer(
     ``options.lhb_lifetime`` window still applies, modelling register
     retirement (Section V-C).  ``mode=BASELINE`` ignores the LHB
     arguments.
+
+    The ``options.engine`` tier (with its ``$REPRO_ENGINE`` override)
+    picks how the request is answered: the trace-free analytic model
+    where covered, else the exact fast/event replay tiering.  The
+    tier that actually served is published as
+    ``engine.selected.<tier>``; analytic coverage misses are counted
+    under ``analytic.fallback`` — see :mod:`repro.analytic.engine`.
     """
+    from repro.analytic.engine import (
+        analytic_fallback_reason,
+        count_fallback,
+        count_selected,
+        resolve_engine,
+    )
+
     layer_span = obs.span(
         "sim.layer", layer=spec.qualified_name, mode=mode.value
     )
     with layer_span:
-        trace = _get_trace(spec, gpu, kernel, options)
         lhb = None
         if mode is not EliminationMode.BASELINE:
             lhb = make_lhb(
                 lhb_entries, lhb_assoc, options.lhb_lifetime,
                 options.lhb_hashed_index,
             )
-        if _resolve_fast_path(options, mode, lhb):
-            with obs.span("sim.replay.fast", layer=spec.qualified_name):
-                sm_traced = replay_trace_fast(
-                    trace, spec, gpu, options, mode, lhb
-                )
-        else:
-            with obs.span("sim.replay.event", layer=spec.qualified_name):
-                sm_traced = replay_trace(trace, spec, gpu, options, mode, lhb)
+        tier = resolve_engine(options)
+        sm_traced = None
+        if tier == "analytic":
+            reason = analytic_fallback_reason(kernel, options, mode, lhb)
+            if reason is None:
+                from repro.analytic.model import predict_stats
+                from repro.analytic.profile import layer_profile
+
+                with obs.span(
+                    "sim.replay.analytic", layer=spec.qualified_name
+                ):
+                    profile = layer_profile(spec, mode, gpu, kernel, options)
+                    sm_traced = predict_stats(profile, lhb)
+                meta = profile.meta
+                events = profile.counters.events
+                selected = "analytic"
+            else:
+                count_fallback(reason)
+        if sm_traced is None:
+            trace = _get_trace(spec, gpu, kernel, options)
+            meta = trace
+            events = int(trace.kind.size)
+            if tier == "event":
+                use_fast = False
+            elif tier == "fast":
+                reason = fast_path_fallback_reason(mode, lhb)
+                use_fast = reason is None
+                if not use_fast:
+                    obs.add("fastpath.fallback")
+                    obs.add(f"fastpath.fallback.{reason}")
+            else:  # "auto", or analytic coverage fallback
+                use_fast = _resolve_fast_path(options, mode, lhb)
+            selected = "fast" if use_fast else "event"
+            if use_fast:
+                with obs.span("sim.replay.fast", layer=spec.qualified_name):
+                    sm_traced = replay_trace_fast(
+                        trace, spec, gpu, options, mode, lhb
+                    )
+            else:
+                with obs.span("sim.replay.event", layer=spec.qualified_name):
+                    sm_traced = replay_trace(
+                        trace, spec, gpu, options, mode, lhb
+                    )
+        count_selected(selected)
 
     # Extrapolate the traced prefix to the SM's full CTA assignment,
-    # then to the whole grid.
-    sm_stats = sm_traced.scaled(trace.scale_factor)
+    # then to the whole grid.  ``meta`` is the trace on the replay
+    # tiers and the closed-form extrapolation scalars on the analytic
+    # tier; both expose the same scaling fields.
+    sm_stats = sm_traced.scaled(meta.scale_factor)
     if timing is None:
         timing = TimingModel(gpu=gpu, detection_latency=options.detection_latency)
-    busy_sms = max(1, min(gpu.num_sms, trace.grid_ctas))
-    cycles, comps = timing.cycles(sm_stats, trace.concurrent_warps, busy_sms)
+    busy_sms = max(1, min(gpu.num_sms, meta.grid_ctas))
+    cycles, comps = timing.cycles(sm_stats, meta.concurrent_warps, busy_sms)
     sm_stats.cycles = cycles
     sm_stats.cycle_components = comps
 
-    grid_scale = trace.grid_ctas / max(trace.traced_ctas, 1)
+    grid_scale = meta.grid_ctas / max(meta.traced_ctas, 1)
     full_stats = sm_traced.scaled(grid_scale)
     full_stats.cycles = cycles
     full_stats.cycle_components = comps
 
     if obs.enabled():
-        _record_layer_metrics(spec, mode, trace, full_stats, lhb)
+        _record_layer_metrics(spec, mode, events, full_stats, lhb)
 
     return LayerResult(
         spec=spec,

@@ -29,6 +29,7 @@ from repro.obs.manifest import RunManifest, collect_manifest, peak_rss_bytes
 from repro.obs.metrics import (
     MetricsRegistry,
     add,
+    counters_with_prefix,
     export_metrics,
     gauge,
     merge_metrics,
@@ -55,6 +56,7 @@ __all__ = [
     "add",
     "collect_manifest",
     "configure_logging",
+    "counters_with_prefix",
     "disable",
     "enable",
     "enabled",

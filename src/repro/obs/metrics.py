@@ -70,6 +70,22 @@ class MetricsRegistry:
             for name, value in gauges.items():
                 self._gauges[name] = float(value)
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """All counters whose dotted name starts with ``prefix``.
+
+        The engine/fallback assertions in the test suite compare whole
+        counter families (``engine.selected.*``, ``analytic.*``,
+        ``fastpath.fallback.*``) at once — filtering here keeps those
+        assertions exact: an *unexpected* counter appearing under the
+        prefix fails the comparison instead of going unnoticed.
+        """
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
@@ -99,6 +115,11 @@ def gauge(name: str, value: Number) -> None:
 def snapshot() -> Dict[str, Dict[str, Number]]:
     """Copy of the global registry's state."""
     return _REGISTRY.snapshot()
+
+
+def counters_with_prefix(prefix: str) -> Dict[str, int]:
+    """Prefix-filtered counters of the global registry."""
+    return _REGISTRY.counters_with_prefix(prefix)
 
 
 def export_metrics() -> Dict[str, Dict[str, Number]]:

@@ -47,9 +47,14 @@ def _replay_invariant(options: SimulationOptions) -> SimulationOptions:
     ``fast_path`` picks the replay *implementation*; both are
     bit-identical (enforced by the equivalence suite), so keying on it
     would only split the cache and make forced-on/forced-off runs
-    regenerate artifacts they already have.
+    regenerate artifacts they already have.  ``engine`` is normalised
+    for the same reason — but note the stored artifacts are always
+    *exact*: analytic-tier results are approximate and therefore never
+    enter the result cache at all (the executor bypasses get/put for
+    analytically resolved points), so normalising the field can never
+    alias an approximate result into an exact key.
     """
-    return dataclasses.replace(options, fast_path="auto")
+    return dataclasses.replace(options, fast_path="auto", engine="auto")
 
 
 def canonical(obj) -> object:

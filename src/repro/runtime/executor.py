@@ -71,10 +71,32 @@ class SimPoint:
         )
 
 
+def _resolves_analytic(point: SimPoint) -> bool:
+    """True when this point will be answered by the analytic tier.
+
+    Analytic answers are approximate: they bypass the result cache in
+    both directions (never served from exact results persisted
+    earlier, never persisted where an exact tier would read them).
+    The cache key normalises ``engine`` away, so without this bypass
+    the two tiers would share keys.
+    """
+    from repro.analytic.engine import analytic_resolves
+
+    return analytic_resolves(
+        point.kernel,
+        point.options,
+        point.mode,
+        point.lhb_entries,
+        point.lhb_assoc,
+    )
+
+
 def simulate_point(point: SimPoint, cache: Optional[DiskCache] = None):
     """Get-or-compute one point's :class:`LayerResult`."""
     from repro.gpu.simulator import simulate_layer
 
+    if cache is not None and _resolves_analytic(point):
+        cache = None
     key = None
     if cache is not None:
         key = point.cache_key()
@@ -197,6 +219,7 @@ class SweepExecutor:
                     hit = (
                         self.cache.get_result(point.cache_key())
                         if self.cache is not None
+                        and not _resolves_analytic(point)
                         else None
                     )
                     if hit is not None:

@@ -7,6 +7,16 @@ from repro.conv.layer import ConvLayerSpec
 from repro.gpu.config import SimulationOptions
 
 
+def pytest_configure(config):
+    # The benchmarks lane deselects with `-m "not slow"`; if the
+    # marker ever drops out of pyproject.toml the filter silently
+    # matches nothing, so assert its registration here once.
+    markers = [m.split(":", 1)[0] for m in config.getini("markers")]
+    assert "slow" in markers, (
+        "the 'slow' marker must stay registered in pyproject.toml"
+    )
+
+
 def make_spec(
     name="tiny",
     network="test",

@@ -1,0 +1,174 @@
+"""Differential fuzzing: analytic predictions vs. the exact replay.
+
+Hypothesis hunts the corners the fixed Table I validation grid misses:
+random convolution geometries (strided, padded, transposed,
+multi-batch, degenerate single-tile), random covered LHB geometries
+(power-of-two set counts, any associativity, hashed and modular
+indexing, lifetimes from 1 to infinite).  For every drawn
+configuration the analytic model must:
+
+* reproduce the replay's LHB counters (``lhb_lookups``, ``lhb_hits``,
+  ``eliminated_fragments``) **bit for bit** — the model claims
+  exactness there, so the assertion is equality, not a tolerance;
+* keep every structural identity exact (load mix, access chaining,
+  byte multiples);
+* keep interpolated traffic within the documented fuzz bounds below —
+  looser than the Table I bounds because random geometries fall
+  outside the measured set, with the same absolute floors guarding
+  small-count noise;
+* match BASELINE mode exactly, field for field.
+
+Example budgets reuse the ``REPRO_FUZZ_EXAMPLES`` /
+``REPRO_FUZZ_EXAMPLES_SLOW`` knobs of ``test_fastpath_fuzz.py``; the
+``slow``-marked variant goes deeper in the scheduled/CI lanes.
+"""
+
+import dataclasses
+import os
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analytic import METRIC_FLOORS, layer_profile, predict_stats, relative_error
+from repro.core.lhb import LoadHistoryBuffer
+from repro.gpu.config import BASELINE_KERNEL, SimulationOptions, TITAN_V
+from repro.gpu.fastpath import replay_trace_fast
+from repro.gpu.kernel import generate_sm_trace
+from repro.gpu.ldst import EliminationMode
+
+from tests.conftest import make_spec
+
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+SLOW_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES_SLOW", "300"))
+
+#: Traffic bounds for random geometries (documented, looser than the
+#: Table I bound table — see docs/ANALYTIC.md).  Floors are shared
+#: with the validation harness.
+FUZZ_BOUNDS = {
+    "l1_hits": 0.10,
+    "l2_hits": 0.25,
+    "dram_read_bytes": 0.50,
+}
+
+
+@st.composite
+def conv_specs(draw):
+    """Small random layers with a valid, non-empty GEMM shape."""
+    transposed = draw(st.booleans())
+    try:
+        spec = make_spec(
+            name="fuzz",
+            batch=draw(st.integers(1, 2)),
+            h=draw(st.integers(4, 12)),
+            w=draw(st.integers(4, 12)),
+            c=draw(st.sampled_from([2, 4, 8])),
+            filters=draw(st.sampled_from([8, 16, 24])),
+            kh=draw(st.sampled_from([1, 3, 5])),
+            kw=draw(st.sampled_from([1, 3])),
+            pad=draw(st.integers(0, 2)),
+            stride=1 if transposed else draw(st.integers(1, 2)),
+            transposed=transposed,
+            output_pad=draw(st.integers(0, 1)) if transposed else 0,
+        )
+        g = spec.gemm_shape
+    except ValueError:
+        assume(False)
+    assume(g.m > 0 and g.n > 0 and g.k > 0)
+    return spec
+
+
+@st.composite
+def covered_lhbs(draw):
+    """Covered LHB geometries: oracle, or power-of-two set counts."""
+    if draw(st.booleans()) and draw(st.booleans()):  # ~25% oracle
+        entries, assoc = None, 1
+    else:
+        assoc = draw(st.sampled_from([1, 2, 4, 8]))
+        entries = assoc * draw(st.sampled_from([1, 2, 8, 32, 256, 1024]))
+    return dict(
+        num_entries=entries,
+        assoc=assoc,
+        lifetime=draw(st.sampled_from([None, 1, 2, 17, 100, 4096])),
+        hashed_index=draw(st.booleans()),
+    )
+
+
+@st.composite
+def analytic_cases(draw):
+    return (
+        draw(conv_specs()),
+        draw(covered_lhbs()),
+        draw(st.sampled_from([EliminationMode.DUPLO, EliminationMode.WIR])),
+        draw(st.sampled_from([1, 2, None])),  # max_ctas
+    )
+
+
+def _check_case(spec, config, mode, max_ctas):
+    options = SimulationOptions(max_ctas=max_ctas)
+    trace = generate_sm_trace(spec, TITAN_V, BASELINE_KERNEL, options)
+    exact = replay_trace_fast(
+        trace, spec, TITAN_V, options, mode, LoadHistoryBuffer(**config)
+    )
+    profile = layer_profile(spec, mode, TITAN_V, BASELINE_KERNEL, options)
+    predicted = predict_stats(profile, LoadHistoryBuffer(**config))
+    ctx = f"{spec.qualified_name} {mode.value} {config} max_ctas={max_ctas}"
+
+    # Exactness claims: equality, not tolerance.
+    for field in (
+        "loads_total", "loads_workspace", "loads_filter", "loads_input",
+        "stores", "workspace_instructions", "lhb_lookups", "lhb_hits",
+        "eliminated_fragments", "unique_workspace_ids", "mma_ops",
+        "l1_accesses", "dram_write_bytes",
+    ):
+        assert getattr(predicted, field) == getattr(exact, field), (
+            f"{field}: {getattr(predicted, field)} != "
+            f"{getattr(exact, field)}  [{ctx}]"
+        )
+
+    # Structural identities on the approximate side.
+    assert predicted.l2_accesses == predicted.l1_accesses - predicted.l1_hits
+    assert predicted.dram_read_bytes == (
+        (predicted.l2_accesses - predicted.l2_hits) * TITAN_V.l1_line_bytes
+    )
+    assert predicted.breakdown.total == predicted.loads_total
+
+    # Bounded-error traffic.
+    for metric, bound in FUZZ_BOUNDS.items():
+        err = relative_error(
+            float(getattr(predicted, metric)),
+            float(getattr(exact, metric)),
+            METRIC_FLOORS[metric],
+        )
+        assert err <= bound, (
+            f"{metric}: err={err:.4%} > {bound:.0%}  "
+            f"predicted={getattr(predicted, metric)} "
+            f"exact={getattr(exact, metric)}  [{ctx}]"
+        )
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(case=analytic_cases())
+def test_analytic_matches_fast_path(case):
+    _check_case(*case)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(spec=conv_specs(), max_ctas=st.sampled_from([1, 2, None]))
+def test_baseline_profile_is_bit_exact(spec, max_ctas):
+    options = SimulationOptions(max_ctas=max_ctas)
+    trace = generate_sm_trace(spec, TITAN_V, BASELINE_KERNEL, options)
+    exact = replay_trace_fast(
+        trace, spec, TITAN_V, options, EliminationMode.BASELINE, None
+    )
+    profile = layer_profile(
+        spec, EliminationMode.BASELINE, TITAN_V, BASELINE_KERNEL, options
+    )
+    predicted = predict_stats(profile, None)
+    assert dataclasses.asdict(predicted) == dataclasses.asdict(exact)
+
+
+@pytest.mark.slow
+@settings(max_examples=SLOW_EXAMPLES, deadline=None)
+@given(case=analytic_cases())
+def test_analytic_matches_fast_path_deep(case):
+    _check_case(*case)

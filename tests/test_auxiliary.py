@@ -14,6 +14,11 @@ from repro.gpu.simulator import EliminationMode, simulate_layer
 from repro.gpu.config import SimulationOptions
 
 
+@pytest.fixture(autouse=True)
+def _exact_engine(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+
+
 class TestMaxPool:
     def test_reduces_spatial_dims(self, rng):
         x = rng.standard_normal((2, 8, 8, 3))

@@ -38,6 +38,13 @@ from repro.gpu.simulator import (
 from repro.runtime.cachekey import result_key, trace_key
 from repro.runtime.store import DiskCache
 
+
+@pytest.fixture(autouse=True)
+def _exact_engine(monkeypatch):
+    """Fast-vs-event equivalence is meaningless under the analytic
+    tier; the engine lanes must not reroute these dispatch tests."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+
 TABLE_I_LAYERS = [
     ("resnet", "C2"),
     ("resnet", "C8"),

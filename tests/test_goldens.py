@@ -58,7 +58,9 @@ def assert_experiment_matches(exp, golden):
 
 
 @pytest.fixture(autouse=True)
-def _fresh_trace_cache():
+def _fresh_trace_cache(monkeypatch):
+    # Goldens pin the exact tiers' numbers bit for bit.
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
     clear_trace_cache()
     yield
     clear_trace_cache()
@@ -66,7 +68,10 @@ def _fresh_trace_cache():
 
 def test_golden_config_matches_fixture():
     """The in-test configuration mirrors what the fixtures recorded."""
-    for name in ("figure9", "figure10", "figure12", "table2", "multikernel"):
+    for name in (
+        "figure9", "figure10", "figure12", "table2", "multikernel",
+        "analytic",
+    ):
         config = _load(name)["config"]
         assert config["layers"] == ["/".join(p) for p in GOLDEN_LAYERS]
         assert config["max_ctas"] == GOLDEN_OPTIONS.max_ctas
@@ -99,3 +104,21 @@ def test_multikernel_rows_pinned():
     interleave or the PID-folded recurrence."""
     exp = experiments.multikernel_sharing(_layers(), options=GOLDEN_OPTIONS)
     assert_experiment_matches(exp, _load("multikernel"))
+
+
+def test_analytic_predictions_pinned():
+    """The analytic engine tier's predictions on the golden layers.
+
+    The differential bounds in test_analytic_validation.py allow a
+    tolerance band; this fixture pins the exact values, so accuracy
+    drift *within* the band still shows up as a golden diff."""
+    from repro.analytic import clear_profile_cache, prediction_rows
+
+    clear_profile_cache()
+    rows = prediction_rows(_layers(), options=GOLDEN_OPTIONS)
+    golden = _load("analytic")["rows"]
+    assert len(rows) == len(golden)
+    for i, (row, want) in enumerate(zip(rows, golden)):
+        assert set(row) == set(want), f"row {i} columns"
+        for key, expected in want.items():
+            assert_value_matches(row[key], expected, f"row {i} [{key}]")

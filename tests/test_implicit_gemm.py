@@ -40,7 +40,8 @@ def trace(spec):
 
 
 @pytest.fixture(autouse=True)
-def _fresh():
+def _fresh(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
     clear_trace_cache()
     yield
     clear_trace_cache()

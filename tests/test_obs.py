@@ -15,8 +15,11 @@ from repro.gpu.simulator import EliminationMode, simulate_layer
 
 
 @pytest.fixture(autouse=True)
-def _obs_clean():
-    """Every test starts and ends with observability off and empty."""
+def _obs_clean(monkeypatch):
+    """Every test starts and ends with observability off and empty,
+    and with no engine override (counter assertions here assume the
+    exact tiers answer)."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
     obs.disable()
     obs.reset()
     yield

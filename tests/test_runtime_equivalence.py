@@ -37,7 +37,8 @@ MODES = [
 
 
 @pytest.fixture(autouse=True)
-def _fresh_caches():
+def _fresh_caches(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
     clear_trace_cache()
     yield
     clear_trace_cache()

@@ -24,7 +24,10 @@ def spec():
 
 
 @pytest.fixture(autouse=True)
-def _fresh_cache():
+def _fresh_cache(monkeypatch):
+    # Event/fast tier internals are asserted here; pin the engine so
+    # the analytic CI lane cannot reroute them.
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
     clear_trace_cache()
     yield
     clear_trace_cache()

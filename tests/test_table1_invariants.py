@@ -16,6 +16,16 @@ from repro.gpu.simulator import EliminationMode, simulate_pair
 OPTIONS = SimulationOptions(max_ctas=1)
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _exact_engine():
+    """The conservation invariants are stated over the exact tiers;
+    module-scoped because ``results`` simulates at module scope."""
+    mp = pytest.MonkeyPatch()
+    mp.delenv("REPRO_ENGINE", raising=False)
+    yield
+    mp.undo()
+
+
 @pytest.fixture(scope="module")
 def results():
     out = {}

@@ -23,7 +23,10 @@ from repro.runtime.cachekey import trace_key
 
 
 @pytest.fixture(autouse=True)
-def _fresh_cache():
+def _fresh_cache(monkeypatch):
+    # Trace-count assertions require an exact tier: the analytic CI
+    # lane's $REPRO_ENGINE=analytic would skip trace generation.
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
     clear_trace_cache()
     simulator.set_trace_store(None)
     yield
