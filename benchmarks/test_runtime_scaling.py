@@ -1,24 +1,31 @@
-"""Runtime scaling: parallel fan-out, warm-cache reruns, fast path.
+"""Runtime scaling: adaptive dispatch, parallel fan-out, warm cache.
 
-Runs the Figure 9 sweep over the bench subset three ways — serial
-(jobs=1, no cache), parallel (jobs=4, cold cache), and a warm-cache
-rerun — and times the vectorised trace replay against the event-level
-one on a single layer; all ratios land in
-``results/runtime_scaling.json``.
+Runs the Figure 9 sweep over the bench subset four ways — serial
+(jobs=1, cold cache), adaptive (jobs=4, ``backend="auto"``, cold
+cache), forced-parallel (jobs=4, ``cutover=0`` process pool, cold
+cache), and a warm-cache rerun — and times the vectorised trace
+replay against the event-level one on a single layer.  All ratios
+land in ``results/runtime_scaling.json``, each annotated with the
+core count it was measured under and whether it is *meaningful* on
+this host (a 4-worker pool on one core cannot beat serial; recording
+that ratio as a headline number is how the old ``parallel_speedup:
+0.58`` confusion happened).
 
 Assertions:
 
-* warm-cache rerun must be >= 10x faster than serial — this holds on
-  any machine, the warm path reads pickled results and never touches
-  the simulator;
-* parallel must be >= 2x faster than serial *when the machine can
-  express it* (>= 4 CPU cores); on smaller hosts the ratio is still
-  recorded but the speedup assertion is skipped, since fanning four
-  workers over one core cannot beat serial;
+* warm-cache rerun must be >= 10x faster than serial — holds on any
+  machine, the warm path reads pickled results and never touches the
+  simulator;
+* the adaptive executor must be no slower than serial on *any* host
+  (small tolerance for timer noise): on hosts that cannot win, the
+  cutover keeps the sweep inline, so parallel mode never loses;
+* forced-parallel must be >= 2x faster than serial *when the machine
+  can express it* (>= 4 cores); on smaller hosts the ratio is
+  recorded with ``meaningful: false`` and the assertion is skipped;
 * the vectorised replay must be >= 10x faster than the event replay
   on the reference layer *and* produce bit-identical LayerStats —
-  both implementations run on the same trace in the same process, so
-  the ratio is machine-independent.
+  both run on the same trace in the same process, so the ratio is
+  machine-independent.
 """
 
 import dataclasses
@@ -43,6 +50,10 @@ PARALLEL_JOBS = 4
 
 RESULTS = Path("results") / "runtime_scaling.json"
 
+#: Keys earlier versions wrote flat; superseded by the annotated form.
+_STALE_KEYS = ("serial_s", "parallel_s", "warm_s", "parallel_speedup",
+               "warm_speedup")
+
 
 def _timed(fn):
     t0 = time.perf_counter()
@@ -59,54 +70,95 @@ def _merge_results(update: dict) -> None:
             data = json.loads(RESULTS.read_text())
         except ValueError:
             data = {}
+    for stale in _STALE_KEYS:
+        data.pop(stale, None)
     data.update(update)
     RESULTS.write_text(json.dumps(data, indent=1) + "\n")
 
 
-def test_parallel_and_warm_cache_scaling(bench_layers, bench_options, tmp_path):
+def test_adaptive_parallel_and_warm_cache_scaling(
+    bench_layers, bench_options, tmp_path
+):
     sweep = lambda executor: lhb_size_sweep(
         bench_layers, options=bench_options, executor=executor
     )
 
-    clear_trace_cache()
-    serial, t_serial = _timed(lambda: sweep(SweepExecutor(jobs=1)))
+    def run(name, **kwargs):
+        clear_trace_cache()
+        return _timed(
+            lambda: sweep(
+                SweepExecutor(cache=DiskCache(tmp_path / name), **kwargs)
+            )
+        )
 
-    cache = DiskCache(tmp_path / "cache")
-    clear_trace_cache()
-    parallel, t_parallel = _timed(
-        lambda: sweep(SweepExecutor(jobs=PARALLEL_JOBS, cache=cache))
+    serial, t_serial = run("serial", jobs=1, backend="serial")
+    adaptive, t_adaptive = run("adaptive", jobs=PARALLEL_JOBS)
+    forced, t_forced = run(
+        "forced", jobs=PARALLEL_JOBS, backend="processes", cutover=0
     )
-
     clear_trace_cache()
     warm, t_warm = _timed(
-        lambda: sweep(SweepExecutor(jobs=PARALLEL_JOBS, cache=cache))
+        lambda: sweep(
+            SweepExecutor(
+                jobs=PARALLEL_JOBS, cache=DiskCache(tmp_path / "serial")
+            )
+        )
     )
 
-    # The three paths must agree exactly before any ratio means much.
-    for a, b, c in zip(serial.rows, parallel.rows, warm.rows):
-        assert a.improvement == b.improvement == c.improvement
-        assert a.hit_rate == b.hit_rate == c.hit_rate
+    # The four paths must agree exactly before any ratio means much.
+    for a, b, c, d in zip(
+        serial.rows, adaptive.rows, forced.rows, warm.rows
+    ):
+        assert a.improvement == b.improvement == c.improvement == d.improvement
+        assert a.hit_rate == b.hit_rate == c.hit_rate == d.hit_rate
 
+    can_scale = CORES >= PARALLEL_JOBS
     ratios = {
         "cores": CORES,
         "jobs": PARALLEL_JOBS,
         "layers": len(bench_layers),
-        "serial_s": round(t_serial, 4),
-        "parallel_s": round(t_parallel, 4),
-        "warm_s": round(t_warm, 4),
-        "parallel_speedup": round(t_serial / max(t_parallel, 1e-9), 2),
-        "warm_speedup": round(t_serial / max(t_warm, 1e-9), 2),
+        "serial": {"seconds": round(t_serial, 4), "cores": CORES},
+        "adaptive": {
+            "seconds": round(t_adaptive, 4),
+            "speedup": round(t_serial / max(t_adaptive, 1e-9), 2),
+            "cores": CORES,
+            "meaningful": True,
+            "note": "adaptive cutover: must never lose to serial",
+        },
+        "parallel_forced": {
+            "seconds": round(t_forced, 4),
+            "speedup": round(t_serial / max(t_forced, 1e-9), 2),
+            "cores": CORES,
+            "meaningful": can_scale,
+            "note": (
+                "forced 4-worker process pool"
+                if can_scale
+                else f"forced pool on {CORES} core(s) cannot beat serial; "
+                "ratio recorded for the record, not as a headline"
+            ),
+        },
+        "warm": {
+            "seconds": round(t_warm, 4),
+            "speedup": round(t_serial / max(t_warm, 1e-9), 2),
+            "cores": CORES,
+            "meaningful": True,
+            "note": "fully cached rerun (no simulation)",
+        },
     }
     _merge_results(ratios)
-    print(f"\nruntime scaling: {ratios}")
+    print(f"\nruntime scaling: {json.dumps(ratios, indent=1)}")
 
-    assert ratios["warm_speedup"] >= 10, ratios
-    if CORES >= PARALLEL_JOBS:
-        assert ratios["parallel_speedup"] >= 2, ratios
+    assert ratios["warm"]["speedup"] >= 10, ratios
+    # The headline fix: adaptive parallel never loses to serial (15%
+    # slack absorbs wall-clock noise on shared CI runners).
+    assert ratios["adaptive"]["speedup"] >= 0.85, ratios
+    if can_scale:
+        assert ratios["parallel_forced"]["speedup"] >= 2, ratios
     else:
         pytest.skip(
-            f"only {CORES} core(s): parallel speedup {ratios['parallel_speedup']}x "
-            f"recorded but not asserted (needs >= {PARALLEL_JOBS} cores)"
+            f"only {CORES} core(s): forced-parallel speedup "
+            f"{ratios['parallel_forced']['speedup']}x recorded as "
+            f"meaningful=false (needs >= {PARALLEL_JOBS} cores)"
         )
 
 
@@ -141,6 +193,7 @@ def test_fast_path_replay_speedup():
     ratios = {
         "fast_path_layer": spec.qualified_name,
         "fast_path_events": int(trace.kind.size),
+        "fast_path_cores": CORES,
         "event_replay_s": round(t_event, 4),
         "fast_replay_s": round(t_fast, 4),
         "fast_path_speedup": round(t_event / max(t_fast, 1e-9), 2),

@@ -9,9 +9,10 @@ Commands
 ``experiment NAME``
     Regenerate one paper figure/table (``figure2`` .. ``figure14``,
     ``table2``, ``multikernel``, ``energy_area``).  ``--jobs N`` fans
-    the sweep across
-    N worker processes; artifacts persist under ``results/cache/``
-    unless ``--no-cache`` is given.
+    the sweep across N workers (``--backend`` picks threads,
+    processes, or multi-host shared-store coordination; ``--cutover``
+    tunes the adaptive inline/pool decision); artifacts persist under
+    ``results/cache/`` unless ``--no-cache`` is given.
 ``calibration``
     Print the model's headline numbers against the paper's.
 ``cache stats`` / ``cache clear``
@@ -55,7 +56,27 @@ def _make_executor(args: argparse.Namespace):
     cache = None
     if not getattr(args, "no_cache", False):
         cache = DiskCache(args.cache_dir) if args.cache_dir else DiskCache()
-    return SweepExecutor(jobs=getattr(args, "jobs", 1), cache=cache)
+    return SweepExecutor(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        backend=getattr(args, "backend", "auto"),
+        cutover=getattr(args, "cutover", "auto"),
+    )
+
+
+def _cutover(text: str):
+    """``--cutover`` parser: the literal ``auto`` or a seconds float."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be 'auto' or a number of seconds, got {text!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def _positive_int(text: str) -> int:
@@ -129,6 +150,22 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None,
         help="cache location (default $REPRO_CACHE_DIR or results/cache)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["auto", "serial", "threads", "processes", "shared-store"],
+        default="auto",
+        help="worker venue: auto prices each chunk (threads for the "
+        "vectorised tiers, processes for the event tier, inline when "
+        "a pool would not pay off), serial forces inline, "
+        "shared-store coordinates hosts through the cache directory; "
+        "results are bit-identical across backends",
+    )
+    parser.add_argument(
+        "--cutover", type=_cutover, default="auto",
+        help="estimated-seconds threshold below which the sweep runs "
+        "inline (default auto: pool only when the estimated saving "
+        "beats pool startup; 0 forces pooling, inf forces inline)",
     )
 
 

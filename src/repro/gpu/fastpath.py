@@ -631,6 +631,9 @@ def replay_trace_fast(
         )
     obs.add("fastpath.replays")
     obs.add("fastpath.events", int(trace.kind.size))
+    # Zero-copy traces keep ``address`` as a strided memmap view; the
+    # passes below each walk the full column, so materialise it once.
+    trace = trace.densify()
 
     l2_capacity = gpu.l2_bytes
     if l2_share_sms is not None:

@@ -21,6 +21,7 @@ up so traces survive across runs.
 from __future__ import annotations
 
 import logging
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
@@ -55,6 +56,13 @@ _log = logging.getLogger(__name__)
 
 _trace_cache: "OrderedDict[Tuple, KernelTrace]" = OrderedDict()
 _TRACE_CACHE_LIMIT = 64
+#: Guards the LRU's OrderedDict against concurrent mutation — the
+#: sweep executor's thread backend replays several layers at once and
+#: ``move_to_end``/``popitem`` are not atomic.  Generation and store
+#: round-trips run *outside* the lock (they dominate and are
+#: independent per layer); the worst concurrent case is two threads
+#: generating the same trace, which wastes work but stays correct.
+_trace_lock = threading.Lock()
 _trace_store = None  # optional repro.runtime.store.DiskCache
 
 
@@ -85,9 +93,11 @@ def _get_trace(
     # normalise it out so on/off runs share one cached trace.
     options = replace(options, fast_path="auto")
     key = (spec, gpu, kernel, options)
-    trace = _trace_cache.get(key)
+    with _trace_lock:
+        trace = _trace_cache.get(key)
+        if trace is not None:
+            _trace_cache.move_to_end(key)
     if trace is not None:
-        _trace_cache.move_to_end(key)
         obs.add("sim.trace.lru_hits")
         return trace
     if _trace_store is not None:
@@ -108,25 +118,45 @@ def _get_trace(
         with obs.span("sim.trace.generate", layer=spec.qualified_name):
             trace = generate_sm_trace(spec, gpu, kernel, options)
         obs.add("sim.trace.generated")
-    while len(_trace_cache) >= _TRACE_CACHE_LIMIT:
-        _trace_cache.popitem(last=False)
-    _trace_cache[key] = trace
+    with _trace_lock:
+        while len(_trace_cache) >= _TRACE_CACHE_LIMIT:
+            _trace_cache.popitem(last=False)
+        _trace_cache[key] = trace
     return trace
+
+
+def trace_is_cached(
+    spec: ConvLayerSpec,
+    gpu: GPUConfig,
+    kernel: KernelConfig,
+    options: SimulationOptions,
+) -> bool:
+    """True iff the in-process LRU already holds this trace.
+
+    A read-only probe (no LRU reordering, no store consult) — the
+    sweep executor's cost estimator uses it to price a chunk as
+    replay-only versus generate-plus-replay.
+    """
+    options = replace(options, fast_path="auto")
+    with _trace_lock:
+        return (spec, gpu, kernel, options) in _trace_cache
 
 
 def clear_trace_cache() -> None:
     """Drop cached traces (tests that tweak globals call this)."""
-    _trace_cache.clear()
+    with _trace_lock:
+        _trace_cache.clear()
 
 
 def trace_cache_info() -> dict:
     """Introspection for tests: size, limit, and key list (LRU order)."""
-    return {
-        "size": len(_trace_cache),
-        "limit": _TRACE_CACHE_LIMIT,
-        "keys": list(_trace_cache.keys()),
-        "store": _trace_store,
-    }
+    with _trace_lock:
+        return {
+            "size": len(_trace_cache),
+            "limit": _TRACE_CACHE_LIMIT,
+            "keys": list(_trace_cache.keys()),
+            "store": _trace_store,
+        }
 
 
 @dataclass(frozen=True)

@@ -3,17 +3,32 @@
 Public surface:
 
 * :class:`SweepExecutor` — fans (layer, configuration) sweep points
-  across worker processes with layer-affine chunking.
+  across workers with layer-affine chunking, an adaptive serial/
+  parallel cutover, and per-chunk venue selection (:data:`BACKENDS`).
 * :class:`SimPoint` / :func:`simulate_point` — the unit of sweep work
   and its get-or-compute entry point.
+* :func:`estimate_trace_events` — the closed-form trace-size estimate
+  the cutover prices chunks with.
 * :class:`DiskCache` / :func:`open_cache` / :func:`default_cache_dir`
   — the content-addressed on-disk store under ``results/cache/``.
-* :func:`trace_key` / :func:`result_key` / :data:`CACHE_SALT` —
-  stable content hashes and the code-version salt.
+* :func:`trace_key` / :func:`result_key` / :func:`chunk_claim_key` /
+  :data:`CACHE_SALT` — stable content hashes and the code-version
+  salt.
 """
 
-from repro.runtime.cachekey import CACHE_SALT, result_key, trace_key
-from repro.runtime.executor import SimPoint, SweepExecutor, simulate_point
+from repro.runtime.cachekey import (
+    CACHE_SALT,
+    chunk_claim_key,
+    result_key,
+    trace_key,
+)
+from repro.runtime.executor import (
+    BACKENDS,
+    SimPoint,
+    SweepExecutor,
+    estimate_trace_events,
+    simulate_point,
+)
 from repro.runtime.store import (
     CACHE_DIR_ENV,
     CacheStats,
@@ -23,13 +38,16 @@ from repro.runtime.store import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CACHE_SALT",
     "CACHE_DIR_ENV",
     "CacheStats",
     "DiskCache",
     "SimPoint",
     "SweepExecutor",
+    "chunk_claim_key",
     "default_cache_dir",
+    "estimate_trace_events",
     "open_cache",
     "result_key",
     "simulate_point",

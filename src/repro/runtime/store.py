@@ -4,8 +4,11 @@ Layout (content-addressed, two-level fan-out to keep directories
 small)::
 
     results/cache/
-      traces/ab/abcdef....npz     columnar KernelTrace (compressed)
-      results/9f/9fe312....pkl    pickled LayerResult
+      traces/ab/abcdef....npz         columnar KernelTrace (compressed)
+      traces/ab/abcdef....events.npy  uncompressed events (mmap hand-off)
+      traces/ab/abcdef....meta.json   the trace's scalar fields
+      results/9f/9fe312....pkl        pickled LayerResult
+      claims/3c/3c90....claim         shared-store chunk ownership marks
 
 Traces persist in the columnar ``.npz`` form
 (:meth:`repro.gpu.isa.KernelTrace.save_npz`): narrow per-field dtypes
@@ -14,11 +17,27 @@ the pickled int64 struct-of-arrays, and loading needs no pickle at
 all.  Stores written by earlier versions (``traces/**.pkl``) are still
 read as a fallback.
 
+Alongside the compressed archive, :meth:`DiskCache.put_trace` writes
+an *uncompressed* ``.events.npy`` / ``.meta.json`` pair — the
+**zero-copy hand-off form**.  A store opened with ``mmap_traces=True``
+(worker processes do this) serves ``get_trace`` by memory-mapping the
+``.npy`` record array instead of inflating the archive: no pickle, no
+decompress, and every worker on the host shares one copy of the pages
+through the OS page cache.  The ``.meta.json`` file is written *after*
+the events file, so its presence implies a complete pair; a missing or
+torn pair degrades to the ``.npz`` read.
+
 Writes are atomic (temp file + ``os.replace``) so concurrent worker
 processes can populate the same store without torn reads; a reader
 either sees a complete artifact or a miss.  Unpickling failures
 (truncated file, version skew) degrade to a miss and the offending
 file is dropped.
+
+``try_claim`` implements the shared-store coordination primitive: an
+``O_CREAT | O_EXCL`` create of a claim file, atomic on POSIX
+filesystems (including the NFS-style shares a multi-host sweep would
+mount), so exactly one participant wins each chunk.  See
+``repro.runtime.executor`` (``backend="shared-store"``).
 
 The default location is ``$REPRO_CACHE_DIR`` or ``results/cache``
 relative to the working directory; the CLI and
@@ -28,10 +47,13 @@ explicitly so tests can point them at temporary directories.
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import pickle
+import socket
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -71,9 +93,16 @@ class CacheStats:
 
 @dataclass
 class DiskCache:
-    """Content-addressed pickle store for traces and layer results."""
+    """Content-addressed pickle store for traces and layer results.
+
+    ``mmap_traces`` flips ``get_trace`` to prefer the uncompressed
+    ``.events.npy`` sidecar via ``np.load(..., mmap_mode="r")`` — the
+    zero-copy hand-off worker processes use (falls back to the
+    compressed archive when no sidecar exists).
+    """
 
     root: Path = field(default_factory=default_cache_dir)
+    mmap_traces: bool = False
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -147,10 +176,68 @@ class DiskCache:
                 pass
             raise
 
+    def _put_trace_npy(self, key: str, trace) -> None:
+        """Persist the mmap-able sidecar pair (events first, meta last).
+
+        The meta file is the commit marker: a reader that finds it can
+        rely on the events file being complete, because both writes
+        are atomic replaces and meta lands second.
+        """
+        events = self._path("traces", key, suffix=".events.npy")
+        events.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=events.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                trace.save_npy(fh)
+            os.replace(tmp, events)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        meta = self._path("traces", key, suffix=".meta.json")
+        fd, tmp = tempfile.mkstemp(dir=meta.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(trace.meta(), fh)
+            os.replace(tmp, meta)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _get_trace_mmap(self, key: str):
+        from repro.gpu.isa import KernelTrace
+
+        meta_path = self._path("traces", key, suffix=".meta.json")
+        events_path = self._path("traces", key, suffix=".events.npy")
+        try:
+            meta = json.loads(meta_path.read_text())
+            return KernelTrace.load_npy(str(events_path), meta, mmap=True)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Torn/stale sidecar pair: drop both, let .npz serve.
+            for p in (meta_path, events_path):
+                try:
+                    p.unlink()
+                except OSError:
+                    pass
+            return None
+
     # -- typed API ------------------------------------------------------
 
     def get_trace(self, key: str):
-        trace = self._get_trace_npz(key)
+        trace = None
+        if self.mmap_traces:
+            trace = self._get_trace_mmap(key)
+            if trace is not None:
+                obs.add("store.trace_mmap_hits")
+        if trace is None:
+            trace = self._get_trace_npz(key)
         if trace is None:
             # Legacy stores persisted pickled traces.
             trace = self._get("traces", key)
@@ -167,11 +254,23 @@ class DiskCache:
 
     def put_trace(self, key: str, trace) -> None:
         self._put_trace_npz(key, trace)
+        self._put_trace_npy(key, trace)
         obs.add("store.trace_puts")
         if obs.enabled():
             obs.add("store.npz_bytes_written", self._artifact_bytes(
                 "traces", key))
             _log.debug("stored trace %s", key[:12])
+
+    def has_trace(self, key: str) -> bool:
+        """Cheap existence probe (no read) — the cost estimator's view."""
+        for suffix in (".npz", ".meta.json", ".pkl"):
+            if self._path("traces", key, suffix).exists():
+                return True
+        return False
+
+    def has_result(self, key: str) -> bool:
+        """Cheap existence probe — shared-store polling uses this."""
+        return self._path("results", key).exists()
 
     def get_result(self, key: str):
         result = self._get("results", key)
@@ -202,7 +301,44 @@ class DiskCache:
                 continue
         return 0
 
+    # -- shared-store coordination --------------------------------------
+
+    def try_claim(self, key: str) -> bool:
+        """Atomically claim ``key``; True iff this caller won it.
+
+        One ``O_CREAT | O_EXCL`` create — the portable
+        compare-and-swap of shared POSIX filesystems.  The claim file
+        records who won (host, pid, wall time) for post-mortems; the
+        artifact itself still arrives through the normal result-cache
+        writes, so a claim is ownership metadata, never data.
+        """
+        path = self._path("claims", key, suffix=".claim")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            obs.add("store.claims_lost")
+            return False
+        with os.fdopen(fd, "w") as fh:
+            json.dump(
+                {
+                    "host": socket.gethostname(),
+                    "pid": os.getpid(),
+                    "time_unix": time.time(),
+                },
+                fh,
+            )
+        obs.add("store.claims_won")
+        return True
+
     # -- maintenance ----------------------------------------------------
+
+    #: rglob patterns per family for inventory/clear.
+    _FAMILY_PATTERNS = {
+        "traces": ("*.pkl", "*.npz", "*.events.npy", "*.meta.json"),
+        "results": ("*.pkl", "*.npz"),
+        "claims": ("*.claim",),
+    }
 
     def stats(self) -> CacheStats:
         """Process-local hit/miss counters plus on-disk inventory."""
@@ -212,7 +348,7 @@ class DiskCache:
             base = self.root / family
             if not base.is_dir():
                 continue
-            for pattern in ("*.pkl", "*.npz"):
+            for pattern in self._FAMILY_PATTERNS[family]:
                 for p in base.rglob(pattern):
                     setattr(s, attr, getattr(s, attr) + 1)
                     try:
@@ -222,13 +358,13 @@ class DiskCache:
         return s
 
     def clear(self) -> int:
-        """Delete every cached artifact; returns files removed."""
+        """Delete every cached artifact and claim; returns files removed."""
         removed = 0
-        for family in ("traces", "results"):
+        for family, patterns in self._FAMILY_PATTERNS.items():
             base = self.root / family
             if not base.is_dir():
                 continue
-            for pattern in ("*.pkl", "*.npz"):
+            for pattern in patterns:
                 for p in base.rglob(pattern):
                     try:
                         p.unlink()

@@ -222,7 +222,12 @@ class TestProcessMerge:
                 )
             ],
         ]
-        executor = SweepExecutor(jobs=2, cache=DiskCache(tmp_path / "c"))
+        # Force the process pool: the adaptive cutover would price
+        # this tiny sweep as inline (the merge path is the subject).
+        executor = SweepExecutor(
+            jobs=2, cache=DiskCache(tmp_path / "c"),
+            backend="processes", cutover=0,
+        )
         executor.run_chunks(chunks)
         snap = obs.snapshot()
         assert snap["counters"]["executor.chunks"] == 3
