@@ -1,14 +1,16 @@
 """CI perf-regression gate over the not-slow benchmark kernel set.
 
-Runs a fixed suite of micro-benchmarks (trace generation, fast- and
-event-path replays — direct-mapped and 8-way set-associative — a
-PID-tagged multi-kernel shared-LHB replay in both implementations, an
-end-to-end baseline/Duplo pair, a warm-cache sweep rerun, a cold
-fast-path query, an analytic-tier geometry sweep, and a cold parallel
-sweep under four executor configurations: serial, adaptive cutover,
-forced thread pool, forced process pool), takes the
-**median over N repeats**, and either records a baseline or checks
-the current build against one.
+Runs a fixed suite of micro-benchmarks (trace generation — the
+closed-form synthesizer and the retired per-turn loop generator it
+replaced — fast- and event-path replays — direct-mapped and 8-way
+set-associative — a PID-tagged multi-kernel shared-LHB replay in both
+implementations, an end-to-end baseline/Duplo pair, a warm-cache sweep
+rerun, a cold fast-path query, an analytic-tier geometry sweep, a cold
+parallel sweep under four executor configurations: serial, adaptive
+cutover, forced thread pool, forced process pool, and a subprocess
+streaming sweep whose manifest peak RSS must stay under a committed
+cap), takes the **median over N repeats**, and either records a
+baseline or checks the current build against one.
 
 Record a fresh baseline (after an intentional perf-relevant change)::
 
@@ -29,7 +31,9 @@ The check applies three rules, strictest first:
    drift is a correctness regression, not noise;
 2. **derived ratios** (``fast_path_speedup`` /
    ``assoc_fast_path_speedup`` / ``multikernel_fast_path_speedup`` —
-   event replay over fast replay — and ``analytic_speedup`` — a cold
+   event replay over fast replay — ``trace_gen_speedup`` — the legacy
+   loop generator over the closed-form synthesizer on the same trace,
+   target >= 5x — and ``analytic_speedup`` — a cold
    fast-path query over one warm-profile analytic query, target
    >= 100x — all measured in the same process on the same inputs —
    plus ``adaptive_cutover_ratio``, the serial sweep over the adaptive
@@ -80,6 +84,63 @@ PARALLEL_SWEEP_JOBS = 4
 ANALYTIC_SWEEP_GEOMETRIES = 32
 ANALYTIC_SWEEP_PASSES = 10
 ANALYTIC_SWEEP_QUERIES = ANALYTIC_SWEEP_GEOMETRIES * ANALYTIC_SWEEP_PASSES
+#: Generations per timed run for the two generate-only benchmarks
+#: (closed-form and legacy-loop).  One synthesized trace is ~2 ms —
+#: far too short for a stable median on a busy runner — so both
+#: bodies repeat the identical generation; the derived
+#: ``trace_gen_speedup`` divides per-pass cost either way.
+TRACE_GEN_PASSES = 5
+#: Batch size for the streaming_sweep full-network run — large enough
+#: that the extrapolated grids dwarf the traced slice, exercising the
+#: bounded-memory claim on a workload whose full event columns would
+#: otherwise be the biggest allocation in the process.
+STREAMING_SWEEP_BATCH = 64
+#: Streamed block budget for the streaming_sweep child (events per
+#: :class:`~repro.gpu.isa.TraceBlock`); small enough that hundreds of
+#: blocks flow through every layer.
+STREAMING_SWEEP_BLOCK_EVENTS = 65536
+#: Committed peak-RSS cap for the streaming_sweep child process, read
+#: from its obs run manifest (``ru_maxrss``).  Measured ~211 MB on the
+#: reference host (interpreter + NumPy import dominate); the cap is a
+#: regression tripwire for unbounded buffering, not a tight budget.
+STREAMING_SWEEP_RSS_CAP_BYTES = 512 * 2**20
+
+#: Child body for the streaming_sweep benchmark: a full-network
+#: large-batch streaming run in its own interpreter so the manifest's
+#: ``peak_rss_bytes`` (ru_maxrss — a high-water mark, never resettable
+#: in-process) measures exactly this workload and nothing else.
+_STREAMING_SWEEP_CHILD = """\
+import dataclasses
+import json
+import sys
+
+from repro import obs
+from repro.conv.workloads import layers_for_network
+from repro.gpu.config import BASELINE_KERNEL, SimulationOptions, TITAN_V
+from repro.gpu.ldst import EliminationMode
+from repro.gpu.simulator import simulate_layer_streaming
+
+batch, block_events = json.loads(sys.argv[1])
+rows = []
+for spec in layers_for_network("yolo"):
+    spec = dataclasses.replace(spec, batch=batch)
+    result = simulate_layer_streaming(
+        spec,
+        mode=EliminationMode.DUPLO,
+        options=SimulationOptions(engine="fast"),
+        block_events=block_events,
+    )
+    rows.append([
+        result.cycles,
+        int(result.stats.lhb_hits),
+        int(result.stats.lhb_lookups),
+        int(result.stats.eliminated_fragments),
+    ])
+manifest = obs.collect_manifest("streaming_sweep", argv=sys.argv)
+json.dump(
+    {"rows": rows, "peak_rss_bytes": manifest.peak_rss_bytes}, sys.stdout
+)
+"""
 
 
 # ----------------------------------------------------------------------
@@ -107,9 +168,14 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
     replay_options = SimulationOptions(max_ctas=8)
 
     def trace_gen_setup():
-        options = SimulationOptions(max_ctas=4)
+        # max_ctas=8 keeps the timed body large enough that the
+        # synthesizer's fixed per-plan overhead is amortised — the
+        # regime trace_gen_speedup is meant to price.
+        options = SimulationOptions(max_ctas=8)
 
         def run():
+            for _ in range(TRACE_GEN_PASSES - 1):
+                generate_sm_trace(yolo_c2, TITAN_V, BASELINE_KERNEL, options)
             return generate_sm_trace(yolo_c2, TITAN_V, BASELINE_KERNEL, options)
 
         def counters(trace):
@@ -119,6 +185,113 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
             }
 
         return run, counters
+
+    def trace_generation_loop_setup():
+        """Generate-only, via the retired per-turn loop generator.
+
+        Same layer and options as ``trace_gen.yolo_c2`` (the
+        closed-form synthesizer), so the derived ``trace_gen_speedup``
+        divides like for like; identical counters double as a spot
+        check that the legacy path still produces the same trace.
+        """
+        from repro.gpu.kernel import TRACE_GEN_ENV
+
+        options = SimulationOptions(max_ctas=8)
+
+        def run():
+            os.environ[TRACE_GEN_ENV] = "loop"
+            try:
+                for _ in range(TRACE_GEN_PASSES - 1):
+                    generate_sm_trace(
+                        yolo_c2, TITAN_V, BASELINE_KERNEL, options
+                    )
+                return generate_sm_trace(
+                    yolo_c2, TITAN_V, BASELINE_KERNEL, options
+                )
+            finally:
+                del os.environ[TRACE_GEN_ENV]
+
+        def counters(trace):
+            return {
+                "events": int(trace.kind.size),
+                "traced_ctas": int(trace.traced_ctas),
+            }
+
+        return run, counters
+
+    def streaming_sweep_setup():
+        """Full-network large-batch streaming run, bounded peak RSS.
+
+        The timed body launches a child interpreter running
+        :func:`~repro.gpu.simulator.simulate_layer_streaming` over
+        every yolo layer at batch ``STREAMING_SWEEP_BATCH`` with a
+        small block budget, then reads the child's obs run manifest:
+        ``peak_rss_bytes`` must stay under the committed
+        ``STREAMING_SWEEP_RSS_CAP_BYTES`` and the streamed results
+        must equal the in-memory :func:`simulate_layer` reference
+        computed untimed here.  Both checks land in the deterministic
+        counters (``rss_under_cap`` / ``matches_inmemory``); the
+        actual high-water mark is kept outside ``counters`` (in
+        ``extra``) because absolute RSS is host-shaped.
+        """
+        import dataclasses
+        import subprocess
+
+        from repro.conv.workloads import layers_for_network
+        from repro.gpu.simulator import simulate_layer
+
+        specs = [
+            dataclasses.replace(spec, batch=STREAMING_SWEEP_BATCH)
+            for spec in layers_for_network("yolo")
+        ]
+        reference = []
+        for spec in specs:
+            result = simulate_layer(
+                spec,
+                mode=EliminationMode.DUPLO,
+                options=SimulationOptions(engine="fast"),
+            )
+            reference.append([
+                result.cycles,
+                int(result.stats.lhb_hits),
+                int(result.stats.lhb_lookups),
+                int(result.stats.eliminated_fragments),
+            ])
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")
+            ) if p
+        )
+        child_args = json.dumps(
+            [STREAMING_SWEEP_BATCH, STREAMING_SWEEP_BLOCK_EVENTS]
+        )
+
+        def run():
+            proc = subprocess.run(
+                [sys.executable, "-c", _STREAMING_SWEEP_CHILD, child_args],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            return json.loads(proc.stdout)
+
+        def counters(payload):
+            peak = payload["peak_rss_bytes"]
+            return {
+                "rows": len(payload["rows"]),
+                "rss_under_cap": int(
+                    peak is None or peak < STREAMING_SWEEP_RSS_CAP_BYTES
+                ),
+                "matches_inmemory": int(payload["rows"] == reference),
+            }
+
+        def extra(payload):
+            return {
+                "peak_rss_bytes": payload["peak_rss_bytes"],
+                "rss_cap_bytes": STREAMING_SWEEP_RSS_CAP_BYTES,
+            }
+
+        return run, counters, extra
 
     def _replay_setup(replay, assoc=1):
         trace = generate_sm_trace(
@@ -354,6 +527,8 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
 
     return {
         "trace_gen.yolo_c2": trace_gen_setup,
+        "trace_generation.yolo_c2": trace_generation_loop_setup,
+        "streaming_sweep.yolo": streaming_sweep_setup,
         "replay_fast.yolo_c2": lambda: _replay_setup(replay_trace_fast),
         "replay_event.yolo_c2": lambda: _replay_setup(replay_trace),
         "replay_fast_assoc8.yolo_c2":
@@ -384,7 +559,11 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
 def run_suite(repeats: int) -> Dict[str, dict]:
     results: Dict[str, dict] = {}
     for name, setup in _bench_suite().items():
-        run, counters = setup()
+        # setup() returns (run, counters) or (run, counters, extra);
+        # ``extra`` carries host-shaped diagnostics (e.g. the
+        # streaming sweep's actual peak RSS) that the checker must
+        # never compare across machines.
+        run, counters, *rest = setup()
         times: List[float] = []
         last = None
         for _ in range(repeats):
@@ -396,6 +575,8 @@ def run_suite(repeats: int) -> Dict[str, dict]:
             "min_s": round(min(times), 5),
             "counters": counters(last),
         }
+        if rest:
+            results[name]["extra"] = rest[0](last)
         print(
             f"  {name:28s} median {results[name]['median_s']:.4f}s "
             f"(min {results[name]['min_s']:.4f}s)"
@@ -418,6 +599,12 @@ def derived_ratios(benchmarks: Dict[str, dict]) -> Dict[str, float]:
         event = benchmarks.get(event_key, {}).get("median_s")
         if fast and event:
             ratios[name] = round(event / fast, 2)
+    # Legacy per-turn loop generator over the closed-form synthesizer
+    # on the identical trace; acceptance target >= 5x.
+    loop = benchmarks.get("trace_generation.yolo_c2", {}).get("median_s")
+    vectorized = benchmarks.get("trace_gen.yolo_c2", {}).get("median_s")
+    if loop and vectorized:
+        ratios["trace_gen_speedup"] = round(loop / vectorized, 2)
     cold = benchmarks.get("cold_query.yolo_c2", {}).get("median_s")
     sweep = benchmarks.get("analytic_sweep.yolo_c2", {}).get("median_s")
     if cold and sweep:

@@ -2,11 +2,13 @@
 
 A :class:`LayerProfile` captures the structure of one layer's scheduled
 load stream under one elimination mode — without ever materialising a
-:class:`~repro.gpu.isa.KernelTrace`.  The stream is rebuilt directly
-from the kernel's tiling arithmetic (:func:`_build_load_stream` mirrors
-:func:`repro.gpu.kernel.generate_sm_trace`'s emission order event for
-event, minus the per-event bookkeeping), and is then compressed into
-three geometry-independent artifacts:
+:class:`~repro.gpu.isa.KernelTrace`.  The stream is rebuilt from the
+generator's own closed-form planner (:func:`_build_load_stream`
+consumes :func:`repro.gpu.kernel.plan_sm_trace`'s warp templates, so it
+reproduces :func:`~repro.gpu.kernel.generate_sm_trace`'s emission order
+event for event by sharing its inputs, not by mirroring its
+arithmetic), and is then compressed into three geometry-independent
+artifacts:
 
 * the **reuse table** — per consulted lookup, the global gap to its
   previous same-tag occurrence, plus (lazily, per power-of-two set
@@ -61,15 +63,8 @@ from repro.gpu.fastpath import (
     prev_in_group,
     windowed_distinct_counts,
 )
-from repro.gpu.isa import (
-    EVENT_BYTES,
-    FILTER_BASE,
-    LOAD_A,
-    LOAD_B,
-    STORE_D,
-    WORKSPACE_BASE,
-)
-from repro.gpu.kernel import gemm_geometry, sm_cta_blocks
+from repro.gpu.isa import EVENT_BYTES, LOAD_A, LOAD_B, STORE_D
+from repro.gpu.kernel import plan_sm_trace
 from repro.gpu.ldst import EliminationMode, load_ids_for
 from repro.gpu.scheduler import gto_turns, waves
 
@@ -130,84 +125,35 @@ def _build_load_stream(
     kernel: KernelConfig,
     options: SimulationOptions,
 ):
-    """Rebuild one SM's scheduled load stream from the tiling alone.
+    """Rebuild one SM's scheduled load stream from the trace planner.
 
-    Mirrors :func:`repro.gpu.kernel.generate_sm_trace` for the explicit
-    (non-implicit) kernel: waves of ``ctas_per_sm`` CTAs, GTO turns of
-    ``runahead`` k-steps, and per k-step the warp's A block (octet
-    copy 1 then copy 2, 16 rows per 16x16 tile) followed by its B
-    block.  Returns ``(is_a, load_addr, counters, meta)``.
+    Consumes :func:`repro.gpu.kernel.plan_sm_trace` — the *same*
+    closed-form planner every trace synthesis path runs — so the
+    consult-stream mirror cannot drift from the generator: the
+    per-warp A/B fragment templates, store counts, MMA ops, and the
+    extrapolation scalars all come straight from the plan.  Only the
+    load *ordering* is restated here (waves of ``ctas_per_sm`` CTAs,
+    GTO turns of ``runahead`` k-steps, per k-step the warp's A block
+    then its B block), and that order is pinned bit-exact against the
+    generator by the regression suite.  Returns
+    ``(is_a, load_addr, geom, stores, mma_ops, meta)``.
     """
-    geom = gemm_geometry(spec, kernel.tile)
-    blocks, grid_ctas = sm_cta_blocks(
-        geom, kernel, gpu, options.representative_sm
-    )
-    assigned = len(blocks)
-    if options.max_ctas is not None:
-        blocks = blocks[: options.max_ctas]
-
-    concurrency = kernel.ctas_per_sm(gpu)
+    plan = plan_sm_trace(spec, gpu, kernel, options)
+    geom = plan.geom
     k_steps = geom.k_steps
-    runahead = max(1, kernel.warp_runahead)
-    warps_n = kernel.cta_tile_n // kernel.warp_tile_n
-    tile = kernel.tile
-
-    # Per-(CTA, warp) address templates at k-step 0; a k-step advances
-    # both pitches by 32 bytes.  Each surviving 16x16 tile contributes
-    # its 16 fragments twice (the octet dual-load).
-    per_cta: List[List[dict]] = []
-    stores = 0
-    mma_ops = 0
-    for cta_m, cta_n in blocks:
-        plans = []
-        for w in range(kernel.warps_per_cta):
-            wm, wn = divmod(w, warps_n)
-            m0 = cta_m * kernel.cta_tile_m + wm * kernel.warp_tile_m
-            n0 = cta_n * kernel.cta_tile_n + wn * kernel.warp_tile_n
-            a_rows = [
-                r
-                for i in range(kernel.warp_tiles_m)
-                if m0 + i * tile < geom.m
-                for _copy in range(2)
-                for r in range(m0 + i * tile, m0 + i * tile + tile)
-            ]
-            b_cols = [
-                c
-                for j in range(kernel.warp_tiles_n)
-                if n0 + j * tile < geom.n
-                for _copy in range(2)
-                for c in range(n0 + j * tile, n0 + j * tile + tile)
-            ]
-            a_tiles = sum(
-                1 for i in range(kernel.warp_tiles_m) if m0 + i * tile < geom.m
-            )
-            b_tiles = sum(
-                1 for j in range(kernel.warp_tiles_n) if n0 + j * tile < geom.n
-            )
-            a_base = WORKSPACE_BASE + np.asarray(a_rows, dtype=np.int64) * (
-                geom.lda * 2
-            )
-            b_base = FILTER_BASE + np.asarray(b_cols, dtype=np.int64) * (
-                geom.ldb * 2
-            )
-            plans.append({"a": a_base, "b": b_base})
-            stores += a_tiles * b_tiles * tile
-            mma_ops += a_tiles * b_tiles * k_steps
-        per_cta.append(plans)
 
     addr_chunks: List[np.ndarray] = []
     a_chunks: List[np.ndarray] = []
-    for wave in waves(per_cta, concurrency):
+    for wave in waves(plan.plans_per_block, plan.concurrency):
         for turn in gto_turns(
-            len(wave), kernel.warps_per_cta, k_steps, runahead
+            len(wave), kernel.warps_per_cta, k_steps, plan.runahead
         ):
-            plan = wave[turn.cta_index][turn.warp]
-            a_base, b_base = plan["a"], plan["b"]
-            la, lb = len(a_base), len(b_base)
+            wp = wave[turn.cta_index][turn.warp]
+            la, lb = len(wp.a_base), len(wp.b_base)
             if la + lb == 0:
                 continue
             steps = np.arange(turn.k_start, turn.k_end, dtype=np.int64) * 32
-            burst = np.concatenate([a_base, b_base])
+            burst = np.concatenate([wp.a_base, wp.b_base])
             addr_chunks.append((steps[:, None] + burst[None, :]).ravel())
             mask = np.zeros(la + lb, dtype=bool)
             mask[:la] = True
@@ -220,14 +166,16 @@ def _build_load_stream(
         load_addr = np.empty(0, dtype=np.int64)
         is_a = np.empty(0, dtype=bool)
 
-    meta = ExtrapolationMeta(
-        traced_ctas=len(blocks),
-        total_ctas=assigned,
-        grid_ctas=grid_ctas,
-        concurrent_warps=min(concurrency, max(assigned, 1))
-        * kernel.warps_per_cta,
+    stores = sum(
+        len(wp.store_addr) for plans in plan.plans_per_block for wp in plans
     )
-    return is_a, load_addr, geom, stores, mma_ops, meta
+    meta = ExtrapolationMeta(
+        traced_ctas=plan.traced_ctas,
+        total_ctas=plan.assigned,
+        grid_ctas=plan.grid_ctas,
+        concurrent_warps=plan.concurrent_warps,
+    )
+    return is_a, load_addr, geom, stores, plan.mma_ops, meta
 
 
 def _mix_index(element: np.ndarray) -> np.ndarray:

@@ -21,7 +21,12 @@ exact closed forms:
   and a resident entry hits iff its retirement window also holds.
   PID-tagged multi-kernel interleavings
   (:mod:`repro.gpu.multikernel`) fold the PID into the tag key and
-  resolve in the same recurrences.
+  resolve in the same recurrences.  *Warm* buffers resolve too: the
+  buffer's residency snapshot (latest-per-tag membership with global
+  sequence positions) prepends to the stream as a prefix of resident
+  rows, and the recurrences run on global positions instead of stream
+  offsets — for a fresh buffer the two coincide, so the fresh case is
+  byte-for-byte the old closed form.
 
 * **LRU inclusion property** — an access to a set-associative LRU cache
   hits iff its *stack distance* (distinct lines referenced in the same
@@ -43,7 +48,10 @@ exact closed forms:
 the physical registers the LHB records, which is what keeps the closed
 forms sufficient; the fast path fills the caller's
 :class:`~repro.core.lhb.LHBStats` counters so introspection agrees with
-the event path, but the buffer's entry arrays are left empty.
+the event path, and logs the replayed stream with the buffer
+(:meth:`~repro.core.lhb.LoadHistoryBuffer.note_fast_replay`) so
+post-replay state — membership, recency, seen tags — reconstructs
+lazily on the next event-path touch.
 """
 
 from __future__ import annotations
@@ -55,7 +63,9 @@ import numpy as np
 
 from repro import obs
 from repro.conv.layer import ConvLayerSpec
-from repro.core.lhb import LoadHistoryBuffer
+from repro.core.compiler import build_convolution_info
+from repro.core.idgen import IDGenerator
+from repro.core.lhb import LoadHistoryBuffer, vector_set_indices
 from repro.gpu.cache import SetAssociativeCache
 from repro.gpu.config import GPUConfig, SimulationOptions, TITAN_V
 from repro.gpu.isa import (
@@ -66,8 +76,9 @@ from repro.gpu.isa import (
     LOAD_B_SHARED,
     LOAD_INPUT,
     STORE_D,
+    WORKSPACE_BASE,
 )
-from repro.gpu.ldst import EliminationMode, _load_ids, workspace_unique_ids
+from repro.gpu.ldst import EliminationMode, load_ids_for
 from repro.gpu.stats import LayerStats, MemoryBreakdown
 
 
@@ -87,20 +98,16 @@ def fast_path_fallback_reason(
 ) -> Optional[str]:
     """Why this configuration needs the event path (``None`` = covered).
 
-    Every LHB organisation — direct-mapped, set-associative (any
-    associativity), oracle — is exactly representable now, as are
-    PID-tagged multi-kernel streams.  The one residual fallback is a
-    *warm* buffer: the closed forms assume the stream starts against
-    an empty LHB, so a caller-supplied buffer that already served
-    accesses routes to the event-level state machine.  The reason
-    string is the label :func:`resolve_fast_path` reports through
-    ``repro.obs`` (``fastpath.fallback.<reason>``) so a silent
-    regression to the slow path shows up in metrics.
+    Every configuration is exactly representable now: every LHB
+    organisation — direct-mapped, set-associative (any associativity),
+    oracle — plus PID-tagged multi-kernel streams, plus *warm* buffers
+    (the last holdout, closed by seeding the sorted-space recurrence
+    with the buffer's residency snapshot; the retired
+    ``fastpath.fallback.warm-lhb`` counter stays at zero).  The
+    function is kept — returning ``None`` unconditionally — so callers
+    and the ``fastpath.fallback.<reason>`` obs plumbing in
+    :func:`resolve_fast_path` survive any future coverage gap.
     """
-    if mode is EliminationMode.BASELINE or lhb is None:
-        return None
-    if not lhb.is_fresh():
-        return "warm-lhb"
     return None
 
 
@@ -385,11 +392,7 @@ def windowed_distinct_counts(
 
 def _lhb_set_indices(element: np.ndarray, lhb: LoadHistoryBuffer) -> np.ndarray:
     """Vectorised twin of :meth:`LoadHistoryBuffer._index`."""
-    if lhb.hashed_index:
-        mixed = element.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
-        mixed = mixed ^ (mixed >> np.uint64(29))
-        return (mixed % np.uint64(lhb.num_sets)).astype(np.int64)
-    return np.mod(element.astype(np.int64), lhb.num_sets)
+    return vector_set_indices(element, lhb.num_sets, lhb.hashed_index)
 
 
 def simulate_lhb_stream(
@@ -401,12 +404,20 @@ def simulate_lhb_stream(
     """Replay a lookup stream through ``lhb`` in closed form.
 
     Returns the per-lookup hit mask and fills ``lhb.stats`` with the
-    exact counters the event path would produce.  The buffer's entry
-    storage is left empty — only the statistics are materialised.
+    exact counters the event path would produce.  The buffer may be
+    *warm*: its residency snapshot (latest-per-tag membership with
+    global sequence positions) prepends to the stream as a prefix of
+    already-resident rows, and the recurrences compare retirement
+    windows on global positions — for a fresh buffer those equal the
+    stream offsets, so the fresh case reduces to the plain closed form.
+    The replayed segment is logged with the buffer
+    (:meth:`~repro.core.lhb.LoadHistoryBuffer.note_fast_replay`), so
+    the sequence counter advances and a later event-path touch or
+    chained fast replay sees the exact post-stream state.
 
     ``pid`` carries the per-lookup process ID of a multi-kernel
     interleaving (:mod:`repro.gpu.multikernel`); omitted, all lookups
-    share one PID (the single-kernel replay invariant) and the tag
+    share PID 0 (the single-kernel replay invariant) and the tag
     reduces to ``(element_id, batch_id)``.  The PID folds into the
     tag key only — set indexing stays a function of the element ID,
     exactly as :meth:`~repro.core.lhb.LoadHistoryBuffer._index`.
@@ -418,57 +429,123 @@ def simulate_lhb_stream(
         return np.zeros(0, dtype=bool)
     element = np.asarray(element, dtype=np.int64)
     batch = np.asarray(batch, dtype=np.int64)
+    if pid is not None:
+        pid = np.asarray(pid, dtype=np.int64)
+
+    # Fold any carried-over state into the columnar snapshot.  The
+    # prefix rows carry the residency the event path would hold (one
+    # row per resident tag, positioned at its last use); the stream
+    # continues the buffer's global sequence numbering.
+    warm = lhb.residency_snapshot()
+    n_prefix = len(warm.element)
+    warm_seen = len(warm.seen_element) > 0
+    gpos = lhb._seq + 1 + np.arange(n, dtype=np.int64)
+    full_el, full_ba, full_pi = element, batch, pid
+    if n_prefix:
+        full_el = np.concatenate([warm.element, element])
+        full_ba = np.concatenate([warm.batch, batch])
+        full_pi = np.concatenate(
+            [warm.pid, pid if pid is not None else np.zeros(n, dtype=np.int64)]
+        )
+        gpos = np.concatenate([warm.last_use, gpos])
 
     # Injective (element, batch[, pid]) -> int64 key: batches and PIDs
     # are small non-negative ints, elements may be negative (merged
-    # padding).
-    base = np.int64(int(batch.max()) + 1)
-    tag = element * base + batch
-    if pid is not None:
-        pid = np.asarray(pid, dtype=np.int64)
-        pbase = np.int64(int(pid.max()) + 1)
-        tag = tag * pbase + pid
+    # padding).  Bases span the seen tags too so stream keys and the
+    # compulsory-miss filter live in one key space.
+    bmax = int(full_ba.max())
+    if warm_seen:
+        bmax = max(bmax, int(warm.seen_batch.max()))
+    base = np.int64(bmax + 1)
+    tag = full_el * base + full_ba
+    seen_key = None
+    if warm_seen:
+        seen_key = warm.seen_element * base + warm.seen_batch
+    if full_pi is not None or (warm_seen and warm.seen_pid.any()):
+        if full_pi is None:
+            full_pi = np.zeros(len(full_el), dtype=np.int64)
+        pmax = int(full_pi.max())
+        if warm_seen:
+            pmax = max(pmax, int(warm.seen_pid.max()))
+        pbase = np.int64(pmax + 1)
+        tag = tag * pbase + full_pi
+        if seen_key is not None:
+            seen_key = seen_key * pbase + warm.seen_pid
 
     if not lhb.is_oracle and lhb.assoc > 1:
-        return _set_associative_lhb_stream(element, tag, lhb)
+        hit_full = _set_associative_lhb_stream(full_el, tag, gpos, n_prefix, lhb)
+    else:
+        # One stable sort groups the rows by set (tag, for the oracle);
+        # every lookup's predecessor-in-set is then simply the previous
+        # sorted neighbour, so the whole recurrence reduces to adjacent
+        # pair comparisons in sorted space.  Rows enter in ascending
+        # ``gpos`` order (prefix first), so within a group the sorted
+        # neighbours are consecutive in global time; prefix rows carry
+        # distinct tags — at most one per set — and therefore are never
+        # the *later* element of a pair.
+        group = tag if lhb.is_oracle else _lhb_set_indices(full_el, lhb)
+        order = stable_order(group)
+        adjacent = group[order[1:]] == group[order[:-1]]  # has a predecessor
+        if lhb.is_oracle:
+            same_tag = adjacent
+        else:
+            s_tag = tag[order]
+            same_tag = adjacent & (s_tag[1:] == s_tag[:-1])
+        if lhb.lifetime is None:
+            within = adjacent
+        elif n_prefix == 0:
+            # Fresh: gpos is affine in stream position, so position
+            # gaps equal gpos gaps — skip the gather.
+            within = adjacent & ((order[1:] - order[:-1]) < lhb.lifetime)
+        else:
+            g_s = gpos[order]
+            within = adjacent & ((g_s[1:] - g_s[:-1]) < lhb.lifetime)
 
-    # One stable sort groups the stream by set (tag, for the oracle);
-    # every lookup's predecessor-in-set is then simply the previous
-    # sorted neighbour, so the whole recurrence reduces to adjacent
-    # pair comparisons in sorted space.  ``order`` holds stream
-    # positions, so ``order[i] - order[i-1]`` is the lifetime gap.
-    group = tag if lhb.is_oracle else _lhb_set_indices(element, lhb)
-    order = stable_order(group)
-    adjacent = group[order[1:]] == group[order[:-1]]  # has a predecessor
-    if lhb.is_oracle:
-        same_tag = adjacent
-    else:
-        s_tag = tag[order]
-        same_tag = adjacent & (s_tag[1:] == s_tag[:-1])
-    if lhb.lifetime is None:
-        within = adjacent
-    else:
-        within = adjacent & ((order[1:] - order[:-1]) < lhb.lifetime)
+        hit_pairs = same_tag & within
+        hit_full = np.zeros(n_prefix + n, dtype=bool)
+        hit_full[order[1:]] = hit_pairs
+        n_hits = int(hit_pairs.sum())
+        stats.hits += n_hits
+        stats.misses += n - n_hits
+        stats.expired_misses += int((same_tag & ~within).sum())
+        if lhb.is_oracle:
+            if not warm_seen:
+                # Adjacency already chains same-tag accesses: the group
+                # leaders are exactly the first-of-tag (compulsory)
+                # lookups.
+                stats.compulsory_misses += n - int(adjacent.sum())
+        else:
+            stats.conflict_replacements += int(
+                (adjacent & ~same_tag & within).sum()
+            )
 
-    hit_pairs = same_tag & within
-    hit = np.zeros(n, dtype=bool)
-    hit[order[1:]] = hit_pairs
-    n_hits = int(hit_pairs.sum())
-    stats.hits += n_hits
-    stats.misses += n - n_hits
-    stats.expired_misses += int((same_tag & ~within).sum())
-    if lhb.is_oracle:
-        # Adjacency already chains same-tag accesses: the group leaders
-        # are exactly the first-of-tag (compulsory) lookups.
-        stats.compulsory_misses += n - int(adjacent.sum())
-    else:
-        stats.conflict_replacements += int((adjacent & ~same_tag & within).sum())
+    # Compulsory misses: distinct stream tags never seen before.  The
+    # event path counts a tag's first-ever miss; a stream tag absent
+    # from the seen set necessarily misses on its first occurrence
+    # (no resident prefix row carries an unseen tag).
+    if warm_seen:
+        stream_tag = tag[n_prefix:]
+        sk = np.sort(seen_key)
+        st = np.sort(stream_tag)
+        firsts = np.ones(len(st), dtype=bool)
+        firsts[1:] = st[1:] != st[:-1]
+        distinct = st[firsts]
+        idx = np.searchsorted(sk, distinct)
+        idx[idx == len(sk)] = len(sk) - 1
+        stats.compulsory_misses += int((sk[idx] != distinct).sum())
+    elif not lhb.is_oracle:
         stats.compulsory_misses += distinct_count(tag)
-    return hit
+
+    lhb.note_fast_replay(element, batch, pid)
+    return hit_full[n_prefix:]
 
 
 def _set_associative_lhb_stream(
-    element: np.ndarray, tag: np.ndarray, lhb: LoadHistoryBuffer
+    element: np.ndarray,
+    tag: np.ndarray,
+    gpos: np.ndarray,
+    n_prefix: int,
+    lhb: LoadHistoryBuffer,
 ) -> np.ndarray:
     """Offline per-set LRU resolution of a 2+-way LHB stream.
 
@@ -497,15 +574,26 @@ def _set_associative_lhb_stream(
       distinct tags had their latest access inside the window — a
       windowed last-occurrence count, answered by one more dominance
       pass over next-occurrence indices.
+
+    The first ``n_prefix`` rows are a warm buffer's residency snapshot
+    (distinct tags, at most ``assoc`` per set, positioned at their
+    ``gpos`` of last use); they participate in every recurrence as
+    already-resident candidates but never produce counters themselves
+    — they carry no predecessor (distinct tags) and can never evict
+    (at most ``assoc`` prefix rows per set).  Retirement windows
+    compare ``gpos`` — the buffer's global sequence numbers — which
+    for a fresh buffer coincide with stream positions.
     """
-    n = len(tag)
+    n_total = len(tag)
+    n = n_total - n_prefix  # stream lookups (counters cover these only)
     stats = lhb.stats
     assoc = lhb.assoc
     sets = _lhb_set_indices(element, lhb)
 
-    order = stable_order(sets)  # set-grouped, stream order within
+    order = stable_order(sets)  # set-grouped, global-time order within
     s_tag = tag[order]
-    pos = np.arange(n, dtype=np.int64)
+    g_s = gpos[order]
+    pos = np.arange(n_total, dtype=np.int64)
     prev_s = prev_in_group(s_tag)  # same tag => same set => same block
     has_prev = prev_s >= 0
 
@@ -532,27 +620,26 @@ def _set_associative_lhb_stream(
             sd = counts - (qt + 1)
             resident[qi[sd < assoc]] = True
 
-    # Retirement window: gaps are *global* stream positions (the LHB
+    # Retirement window: gaps are *global* sequence positions (the LHB
     # sequence number counts every lookup, whichever set it lands in).
-    within = np.zeros(n, dtype=bool)
+    within = np.zeros(n_total, dtype=bool)
     ip = np.nonzero(has_prev)[0]
     if lhb.lifetime is None:
         within[ip] = True
     else:
-        within[ip] = (order[ip] - order[prev_s[ip]]) < lhb.lifetime
+        within[ip] = (g_s[ip] - g_s[prev_s[ip]]) < lhb.lifetime
 
     hit_s = resident & within
-    hit = np.zeros(n, dtype=bool)
+    hit = np.zeros(n_total, dtype=bool)
     hit[order] = hit_s
     n_hits = int(hit_s.sum())
     stats.hits += n_hits
     stats.misses += n - n_hits
     stats.expired_misses += int((resident & ~within).sum())
-    stats.compulsory_misses += distinct_count(tag)
 
     # Conflict replacements: misses of non-resident tags in full sets.
     s_sets = sets[order]
-    new_block = np.ones(n, dtype=bool)
+    new_block = np.ones(n_total, dtype=bool)
     new_block[1:] = s_sets[1:] != s_sets[:-1]
     block_id = np.cumsum(new_block) - 1
     bstart = pos[new_block][block_id]  # block start per sorted slot
@@ -563,16 +650,17 @@ def _set_associative_lhb_stream(
             stats.conflict_replacements += int(evict.sum())
         else:
             ei = pos[evict]
-            # Next same-tag occurrence per sorted slot (n = none).
-            nxt = np.full(n, n, dtype=np.int64)
+            # Next same-tag occurrence per sorted slot (n_total = none).
+            nxt = np.full(n_total, n_total, dtype=np.int64)
             nxt[prev_s[ip]] = ip
             # First in-window slot of each evicting miss's set block:
             # per-block offsets keep the (block, global position) key
-            # monotone for one global searchsorted.
-            big = np.int64(n + 1)
-            aug = block_id * big + order
+            # monotone for one global searchsorted.  gpos is ascending
+            # within each block, bounded by its final value.
+            big = np.int64(int(gpos[-1]) + 2)
+            aug = block_id * big + g_s
             first_in_window = np.searchsorted(
-                aug, block_id[ei] * big + (order[ei] - lhb.lifetime),
+                aug, block_id[ei] * big + (g_s[ei] - lhb.lifetime),
                 side="right",
             )
             # A window opening before the stream start underflows into
@@ -605,6 +693,296 @@ def _set_associative_lhb_stream(
 # Full replay
 # ----------------------------------------------------------------------
 
+def _cat(parts, dtype):
+    """Concatenate accumulated block slices without a needless copy."""
+    if not parts:
+        return np.zeros(0, dtype=dtype)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+class _StreamAccumulator:
+    """Folds trace blocks into the compact streams the replay consumes.
+
+    The closed-form replay needs only a few *derived* per-load streams
+    — consult flags, (element, batch) lookup IDs, L1 line IDs,
+    workspace-unique keys — each a fraction of the full four trace
+    columns.  Feeding the trace block by block keeps peak memory at
+    (derived streams + one block) instead of (full columns + derived
+    streams): blocks are dropped as soon as their slice is folded.
+
+    Bit-identity with :func:`replay_trace_fast` on a materialised
+    trace is by construction: every per-block pass is elementwise (or
+    carries its one-value boundary state — the previous instruction ID
+    — across blocks), so concatenating per-block outputs equals the
+    whole-column computation, and :meth:`finish` then runs the very
+    same global recurrences (LHB, LRU stack distances) on the
+    assembled streams.  ``replay_trace_fast`` itself feeds the full
+    trace as a single block through this class.
+    """
+
+    def __init__(
+        self,
+        spec: ConvLayerSpec,
+        lda: int,
+        gpu: GPUConfig,
+        options: SimulationOptions,
+        mode: EliminationMode,
+        lhb: Optional[LoadHistoryBuffer],
+        l2_share_sms: Optional[int] = None,
+    ):
+        self.spec = spec
+        self.lda = lda
+        self.options = options
+        self.mode = mode
+        self.lhb = lhb
+
+        l2_capacity = gpu.l2_bytes
+        if l2_share_sms is not None:
+            l2_capacity = max(
+                gpu.l2_bytes // l2_share_sms, gpu.l2_assoc * gpu.l2_line_bytes
+            )
+        self.l1 = SetAssociativeCache(
+            gpu.l1_bytes, gpu.l1_assoc, gpu.l1_line_bytes,
+            mshr_window=gpu.l1_latency,
+        )
+        self.l2 = SetAssociativeCache(
+            l2_capacity, gpu.l2_assoc, gpu.l2_line_bytes
+        )
+        self._gpu = gpu
+
+        self._instruction = (
+            lhb is not None and options.lhb_granularity != "fragment"
+        )
+        # The DUPLO+fragment replay reuses its own translated IDs for
+        # the workspace-unique accounting; every other configuration
+        # translates the A-load bases with a dedicated generator,
+        # exactly as ldst.workspace_unique_ids.
+        self._ws_shortcut = (
+            mode is EliminationMode.DUPLO
+            and options.lhb_granularity == "fragment"
+        )
+        if not self._ws_shortcut:
+            info = build_convolution_info(
+                spec, WORKSPACE_BASE, lda=lda, pid=options.pid
+            )
+            self._ws_idgen = IDGenerator(
+                spec=spec,
+                workspace_base=info.workspace_base,
+                lda=info.lda,
+                mode=options.id_mode,
+                merge_padding=options.merge_padding,
+            )
+
+        self.events = 0
+        self.blocks = 0
+        self._stores = 0
+        self._loads = 0
+        self._loads_a = 0
+        self._loads_input = 0
+        self._consult: list = []  # bool, per load
+        self._shared: list = []  # bool, per load
+        self._lines: list = []  # int64 L1 line IDs, per non-shared load
+        self._element: list = []  # int64, per lookup-candidate position
+        self._batch: list = []
+        self._first: list = []  # bool, per load (instruction granularity)
+        self._prev_instr: Optional[int] = None
+        self._ws_keys: list = []  # int64 translated workspace keys
+        self._ws_not_ok = 0
+        self._ws_instrs = 0
+        self._prev_a_instr: Optional[int] = None
+
+    def feed(
+        self, kind: np.ndarray, address: np.ndarray, instr: np.ndarray
+    ) -> None:
+        """Fold one block's columns into the accumulated streams."""
+        self.events += len(kind)
+        self.blocks += 1
+        is_load = kind != STORE_D
+        load_kind = kind[is_load]
+        load_addr = address[is_load]
+        n = len(load_kind)
+        self._stores += len(kind) - n
+        self._loads += n
+        is_a = (load_kind == LOAD_A) | (load_kind == LOAD_A_SHARED)
+        self._loads_a += int(is_a.sum())
+        self._loads_input += int((load_kind == LOAD_INPUT).sum())
+
+        consults, batch, element = load_ids_for(
+            self.spec, self.options, self.mode, load_kind, load_addr,
+            self.lda,
+        )
+        is_shared = (load_kind == LOAD_A_SHARED) | (load_kind == LOAD_B_SHARED)
+        self._shared.append(is_shared)
+        self._lines.append(load_addr[~is_shared] >> self.l1.line_shift)
+
+        if self.lhb is not None:
+            self._consult.append(consults)
+            if self._instruction:
+                load_instr = instr[is_load]
+                first = np.ones(n, dtype=bool)
+                if n:
+                    first[1:] = load_instr[1:] != load_instr[:-1]
+                    if self._prev_instr is not None:
+                        first[0] = load_instr[0] != self._prev_instr
+                    self._prev_instr = int(load_instr[-1])
+                self._first.append(first)
+                self._element.append(element[first])
+                self._batch.append(batch[first])
+            else:
+                self._element.append(element[consults])
+                self._batch.append(batch[consults])
+
+        if self._ws_shortcut:
+            translated = is_a & consults
+            self._ws_keys.append(
+                batch[translated] * (1 << 44) + element[translated]
+            )
+            self._ws_instrs += int(is_a.sum())
+        else:
+            a_addr = load_addr[is_a]
+            if self.options.lhb_granularity == "fragment":
+                bases_addr = a_addr
+            else:
+                a_instr = instr[is_load][is_a]
+                first_a = np.ones(len(a_addr), dtype=bool)
+                if len(a_addr):
+                    first_a[1:] = a_instr[1:] != a_instr[:-1]
+                    if self._prev_a_instr is not None:
+                        first_a[0] = a_instr[0] != self._prev_a_instr
+                    self._prev_a_instr = int(a_instr[-1])
+                bases_addr = a_addr[first_a]
+            if len(bases_addr):
+                ok, b, e = self._ws_idgen.generate_for_addresses(bases_addr)
+                self._ws_keys.append(b[ok] * (1 << 44) + e[ok])
+                self._ws_not_ok += int((~ok).sum())
+                self._ws_instrs += len(bases_addr)
+
+    def finish(self, mma_ops: int) -> LayerStats:
+        """Run the global recurrences on the assembled streams."""
+        lhb = self.lhb
+        n = self._loads
+        eliminated = np.zeros(n, dtype=bool)
+        if lhb is not None:
+            consults = _cat(self._consult, bool)
+            if self._instruction:
+                first = _cat(self._first, bool)
+                group = np.cumsum(first) - 1
+                looked_up = consults[first]
+                element = _cat(self._element, np.int64)
+                batch = _cat(self._batch, np.int64)
+                hit = simulate_lhb_stream(
+                    element[looked_up], batch[looked_up], lhb
+                )
+                group_hit = np.zeros(len(element), dtype=bool)
+                group_hit[looked_up] = hit
+                eliminated = group_hit[group]
+            else:
+                idx = np.nonzero(consults)[0]
+                eliminated[idx] = simulate_lhb_stream(
+                    _cat(self._element, np.int64),
+                    _cat(self._batch, np.int64),
+                    lhb,
+                )
+
+        is_shared = _cat(self._shared, bool)
+        served_shared = int((is_shared & ~eliminated).sum())
+        lines = _cat(self._lines, np.int64)[~eliminated[~is_shared]]
+
+        l1, l2 = self.l1, self.l2
+        l1_hit_mask = lru_hit_mask(lines, l1.set_mask, l1.assoc)
+        l2_lines = lines[~l1_hit_mask]
+        l2_hit_mask = lru_hit_mask(l2_lines, l2.set_mask, l2.assoc)
+
+        served_lhb = int(eliminated.sum())
+        l1_accesses = int(lines.size)
+        l1_hits = int(l1_hit_mask.sum())
+        l2_accesses = int(l2_lines.size)
+        l2_hits = int(l2_hit_mask.sum())
+        served_dram = l2_accesses - l2_hits
+        dram_read_bytes = served_dram * self._gpu.l1_line_bytes
+        l1.stats.accesses, l1.stats.hits = l1_accesses, l1_hits
+        l2.stats.accesses, l2.stats.hits = l2_accesses, l2_hits
+
+        loads_a = self._loads_a
+        loads_input = self._loads_input
+        loads_b = n - loads_a - loads_input
+        if self._ws_shortcut:
+            keys = _cat(self._ws_keys, np.int64)
+            ws_instrs = loads_a
+            unique_ids = distinct_count(keys) + loads_a - len(keys)
+        elif self._ws_instrs == 0:
+            ws_instrs, unique_ids = 0, 0
+        else:
+            keys = _cat(self._ws_keys, np.int64)
+            ws_instrs = self._ws_instrs
+            unique_ids = int(np.unique(keys).size) + self._ws_not_ok
+        return LayerStats(
+            loads_total=n,
+            loads_workspace=loads_a,
+            loads_filter=loads_b,
+            loads_input=loads_input,
+            stores=self._stores,
+            workspace_instructions=ws_instrs,
+            lhb_lookups=lhb.stats.lookups if lhb is not None else 0,
+            lhb_hits=lhb.stats.hits if lhb is not None else 0,
+            eliminated_fragments=served_lhb,
+            unique_workspace_ids=unique_ids,
+            l1_accesses=l1_accesses,
+            l1_hits=l1_hits,
+            l2_accesses=l2_accesses,
+            l2_hits=l2_hits,
+            dram_read_bytes=dram_read_bytes,
+            dram_write_bytes=self._stores * EVENT_BYTES[STORE_D],
+            mma_ops=mma_ops,
+            breakdown=MemoryBreakdown(
+                lhb=served_lhb,
+                l1=l1_hits,
+                l2=l2_hits,
+                dram=served_dram,
+                shared=served_shared,
+            ),
+        )
+
+
+def replay_blocks_fast(
+    blocks,
+    meta,
+    spec: ConvLayerSpec,
+    gpu: GPUConfig = TITAN_V,
+    options: SimulationOptions = SimulationOptions(),
+    mode: EliminationMode = EliminationMode.DUPLO,
+    lhb: Optional[LoadHistoryBuffer] = None,
+    l2_share_sms: Optional[int] = None,
+) -> LayerStats:
+    """Streaming twin of :func:`replay_trace_fast`.
+
+    ``blocks`` is any iterable of :class:`~repro.gpu.isa.TraceBlock`
+    (``repro.gpu.kernel.iter_trace_blocks`` generates them without
+    ever materialising the whole trace; ``KernelTrace.iter_blocks``
+    slices an existing or memory-mapped trace).  ``meta`` carries the
+    scalar trace fields (a dict from ``TracePlan.meta()`` /
+    ``KernelTrace.meta()``).  Results are bit-identical to the
+    in-memory replay whatever the block size.
+    """
+    if mode is not EliminationMode.BASELINE and lhb is None:
+        lhb = LoadHistoryBuffer(lifetime=options.lhb_lifetime)
+    acc = _StreamAccumulator(
+        spec, int(meta["lda"]), gpu, options, mode, lhb, l2_share_sms
+    )
+    for block in blocks:
+        acc.feed(
+            np.asarray(block.kind), np.asarray(block.address),
+            np.asarray(block.instr),
+        )
+    obs.add("fastpath.replays")
+    obs.add("fastpath.stream_replays")
+    obs.add("fastpath.stream_blocks", acc.blocks)
+    obs.add("fastpath.events", acc.events)
+    return acc.finish(int(meta["mma_ops"]))
+
+
 def replay_trace_fast(
     trace: KernelTrace,
     spec: ConvLayerSpec,
@@ -616,121 +994,21 @@ def replay_trace_fast(
 ) -> LayerStats:
     """Vectorised, bit-identical drop-in for ``replay_trace``.
 
-    Raises :class:`FastPathUnsupported` for configurations the closed
-    forms cannot represent (currently only a warm, already-accessed
-    LHB) — callers on ``fast_path="auto"`` route those to the event
-    path.
+    Covers every configuration the event path does, warm caller-
+    supplied buffers included (the residency snapshot seeds the LHB
+    recurrence).  :class:`FastPathUnsupported` is still raised by
+    :func:`resolve_fast_path` should a future configuration fall
+    outside :func:`fast_path_fallback_reason`'s coverage.
     """
     if mode is not EliminationMode.BASELINE and lhb is None:
         lhb = LoadHistoryBuffer(lifetime=options.lhb_lifetime)
-    reason = fast_path_fallback_reason(mode, lhb)
-    if reason is not None:
-        raise FastPathUnsupported(
-            f"configuration ({reason}) has no vectorised recurrence; "
-            "use the event-level replay"
-        )
     obs.add("fastpath.replays")
     obs.add("fastpath.events", int(trace.kind.size))
     # Zero-copy traces keep ``address`` as a strided memmap view; the
     # passes below each walk the full column, so materialise it once.
     trace = trace.densify()
-
-    l2_capacity = gpu.l2_bytes
-    if l2_share_sms is not None:
-        l2_capacity = max(
-            gpu.l2_bytes // l2_share_sms, gpu.l2_assoc * gpu.l2_line_bytes
-        )
-    l1 = SetAssociativeCache(
-        gpu.l1_bytes, gpu.l1_assoc, gpu.l1_line_bytes,
-        mshr_window=gpu.l1_latency,
+    acc = _StreamAccumulator(
+        spec, trace.lda, gpu, options, mode, lhb, l2_share_sms
     )
-    l2 = SetAssociativeCache(l2_capacity, gpu.l2_assoc, gpu.l2_line_bytes)
-
-    is_load = trace.kind != STORE_D
-    load_kind = trace.kind[is_load]
-    load_addr = trace.address[is_load]
-    consults, batch, element = _load_ids(
-        trace, spec, options, mode, load_kind, load_addr
-    )
-
-    n = len(load_kind)
-    eliminated = np.zeros(n, dtype=bool)
-    if lhb is not None:
-        if options.lhb_granularity == "fragment":
-            idx = np.nonzero(consults)[0]
-            eliminated[idx] = simulate_lhb_stream(element[idx], batch[idx], lhb)
-        else:
-            instr = trace.instr[is_load]
-            first = np.ones(n, dtype=bool)
-            first[1:] = instr[1:] != instr[:-1]
-            group = np.cumsum(first) - 1
-            base_idx = np.nonzero(first)[0]
-            looked_up = consults[base_idx]
-            lookup_idx = base_idx[looked_up]
-            hit = simulate_lhb_stream(element[lookup_idx], batch[lookup_idx], lhb)
-            group_hit = np.zeros(len(base_idx), dtype=bool)
-            group_hit[looked_up] = hit
-            eliminated = group_hit[group]
-
-    is_shared = (load_kind == LOAD_A_SHARED) | (load_kind == LOAD_B_SHARED)
-    served_shared_mask = is_shared & ~eliminated
-    to_l1 = ~eliminated & ~is_shared
-    lines = load_addr[to_l1] >> l1.line_shift
-
-    l1_hit_mask = lru_hit_mask(lines, l1.set_mask, l1.assoc)
-    l2_lines = lines[~l1_hit_mask]
-    l2_hit_mask = lru_hit_mask(l2_lines, l2.set_mask, l2.assoc)
-
-    served_lhb = int(eliminated.sum())
-    served_shared = int(served_shared_mask.sum())
-    l1_accesses = int(lines.size)
-    l1_hits = int(l1_hit_mask.sum())
-    l2_accesses = int(l2_lines.size)
-    l2_hits = int(l2_hit_mask.sum())
-    served_dram = l2_accesses - l2_hits
-    dram_read_bytes = served_dram * gpu.l1_line_bytes
-
-    l1.stats.accesses, l1.stats.hits = l1_accesses, l1_hits
-    l2.stats.accesses, l2.stats.hits = l2_accesses, l2_hits
-
-    is_a = (load_kind == LOAD_A) | (load_kind == LOAD_A_SHARED)
-    stores = int((trace.kind == STORE_D).sum())
-    loads_a = int(is_a.sum())
-    loads_input = int((load_kind == LOAD_INPUT).sum())
-    loads_b = n - loads_a - loads_input
-    if mode is EliminationMode.DUPLO and options.lhb_granularity == "fragment":
-        # The _load_ids pass already translated every A-load address
-        # with the same generator ``workspace_unique_ids`` would build;
-        # reuse its output instead of translating the stream twice.
-        translated = is_a & consults
-        keys = batch[translated] * (1 << 44) + element[translated]
-        ws_instrs = loads_a
-        unique_ids = distinct_count(keys) + loads_a - int(translated.sum())
-    else:
-        ws_instrs, unique_ids = workspace_unique_ids(trace, spec, options)
-    return LayerStats(
-        loads_total=n,
-        loads_workspace=loads_a,
-        loads_filter=loads_b,
-        loads_input=loads_input,
-        stores=stores,
-        workspace_instructions=ws_instrs,
-        lhb_lookups=lhb.stats.lookups if lhb is not None else 0,
-        lhb_hits=lhb.stats.hits if lhb is not None else 0,
-        eliminated_fragments=served_lhb,
-        unique_workspace_ids=unique_ids,
-        l1_accesses=l1_accesses,
-        l1_hits=l1_hits,
-        l2_accesses=l2_accesses,
-        l2_hits=l2_hits,
-        dram_read_bytes=dram_read_bytes,
-        dram_write_bytes=stores * EVENT_BYTES[STORE_D],
-        mma_ops=trace.mma_ops,
-        breakdown=MemoryBreakdown(
-            lhb=served_lhb,
-            l1=l1_hits,
-            l2=l2_hits,
-            dram=served_dram,
-            shared=served_shared,
-        ),
-    )
+    acc.feed(trace.kind, trace.address, trace.instr)
+    return acc.finish(trace.mma_ops)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import BinaryIO, Dict, Union
+from typing import BinaryIO, Dict, Iterator, Union
 
 import numpy as np
 
@@ -92,6 +92,38 @@ _META_FIELDS = (
 )
 
 
+@dataclass(frozen=True)
+class TraceBlock:
+    """One bounded slice of a trace's parallel event columns.
+
+    The unit of streaming generation and replay: block boundaries are
+    an implementation detail — concatenating a trace's blocks in order
+    reproduces the full columns bit-identically, whatever the block
+    size (``repro.gpu.kernel.iter_trace_blocks`` guarantees this by
+    construction, and the ``REPRO_TRACE_BLOCK`` CI lane locks it).
+    Consumers (:func:`repro.gpu.fastpath.replay_blocks_fast`, the disk
+    store's streaming writer) fold each block into compact accumulators
+    instead of materialising the whole trace.
+    """
+
+    kind: np.ndarray
+    address: np.ndarray
+    warp: np.ndarray
+    instr: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def to_columnar(self) -> np.ndarray:
+        """Pack this block's events into one structured record array."""
+        events = np.empty(len(self), dtype=EVENT_DTYPE)
+        events["kind"] = self.kind
+        events["address"] = self.address
+        events["warp"] = self.warp
+        events["instr"] = self.instr
+        return events
+
+
 @dataclass
 class KernelTrace:
     """Scheduled memory-event stream of one layer on one SM.
@@ -150,6 +182,25 @@ class KernelTrace:
         """Event counts keyed by kind name (traced portion)."""
         kinds, counts = np.unique(self.kind, return_counts=True)
         return {KIND_NAMES[int(k)]: int(c) for k, c in zip(kinds, counts)}
+
+    def iter_blocks(self, block_events: int) -> Iterator[TraceBlock]:
+        """Yield the trace as bounded :class:`TraceBlock` column slices.
+
+        Slices are zero-copy views, so replaying a memory-mapped trace
+        block by block touches one window of the record file at a time
+        instead of faulting the whole column in.
+        """
+        if block_events < 1:
+            raise ValueError(f"block_events must be >= 1, got {block_events}")
+        n = len(self)
+        for start in range(0, n, block_events):
+            stop = min(start + block_events, n)
+            yield TraceBlock(
+                kind=self.kind[start:stop],
+                address=self.address[start:stop],
+                warp=self.warp[start:stop],
+                instr=self.instr[start:stop],
+            )
 
     # -- columnar encoding -------------------------------------------------
 

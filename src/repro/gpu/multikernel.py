@@ -124,8 +124,8 @@ def simulate_shared_lhb(
     ``options.fast_path`` selects the replay implementation exactly as
     in the single-kernel simulator: the vectorised recurrence folds
     the PID into the tag key and is bit-identical to the event loop on
-    every counter; a caller-supplied *warm* ``lhb`` routes to the
-    event path (observable under ``fastpath.fallback``).
+    every counter, including against a caller-supplied *warm* ``lhb``
+    (its residency snapshot seeds the recurrence).
     """
     if not specs:
         raise ValueError("need at least one kernel")

@@ -323,10 +323,34 @@ def simulate_layer(
                     )
         count_selected(selected)
 
-    # Extrapolate the traced prefix to the SM's full CTA assignment,
-    # then to the whole grid.  ``meta`` is the trace on the replay
-    # tiers and the closed-form extrapolation scalars on the analytic
-    # tier; both expose the same scaling fields.
+    return _assemble_result(
+        spec, mode, sm_traced, meta, events, gpu, options, timing,
+        lhb, lhb_entries, lhb_assoc,
+    )
+
+
+def _assemble_result(
+    spec: ConvLayerSpec,
+    mode: EliminationMode,
+    sm_traced: LayerStats,
+    meta,
+    events: int,
+    gpu: GPUConfig,
+    options: SimulationOptions,
+    timing: Optional[TimingModel],
+    lhb: Optional[LoadHistoryBuffer],
+    lhb_entries: Optional[int],
+    lhb_assoc: int,
+) -> LayerResult:
+    """Scaling + timing tail shared by every replay entry point.
+
+    Extrapolates the traced prefix to the SM's full CTA assignment,
+    then to the whole grid.  ``meta`` is anything exposing the scaling
+    fields (``scale_factor`` / ``grid_ctas`` / ``traced_ctas`` /
+    ``concurrent_warps``): the trace on the replay tiers, the
+    closed-form scalars on the analytic tier, the
+    :class:`~repro.gpu.kernel.TracePlan` on the streaming tier.
+    """
     sm_stats = sm_traced.scaled(meta.scale_factor)
     if timing is None:
         timing = TimingModel(gpu=gpu, detection_latency=options.detection_latency)
@@ -353,6 +377,94 @@ def simulate_layer(
         lhb_entries=lhb_entries if lhb is not None else None,
         lhb_assoc=lhb_assoc,
     )
+
+
+def simulate_layer_streaming(
+    spec: ConvLayerSpec,
+    mode: EliminationMode = EliminationMode.DUPLO,
+    lhb_entries: Optional[int] = 1024,
+    lhb_assoc: int = 1,
+    gpu: GPUConfig = TITAN_V,
+    kernel: KernelConfig = BASELINE_KERNEL,
+    options: SimulationOptions = SimulationOptions(),
+    timing: Optional[TimingModel] = None,
+    block_events: Optional[int] = None,
+    store=None,
+) -> LayerResult:
+    """Simulate one layer without ever materialising its trace.
+
+    The bounded-memory twin of :func:`simulate_layer`: trace blocks
+    stream straight from the closed-form synthesizer
+    (:meth:`~repro.gpu.kernel.TracePlan.iter_blocks`) into the
+    vectorised replay's accumulator, so peak memory holds one block
+    plus the replay's compact derived streams instead of the full
+    event columns.  Results are bit-identical to
+    :func:`simulate_layer` for any block size.
+
+    ``block_events`` defaults to ``$REPRO_TRACE_BLOCK`` or the
+    built-in block budget.  With ``store`` (a
+    :class:`repro.runtime.store.DiskCache`) each block is also teed
+    into the store's streaming sidecar writer, persisting the trace
+    under its usual content-addressed key at no extra memory cost.
+    """
+    from repro.analytic.engine import count_selected
+    from repro.gpu.fastpath import replay_blocks_fast
+    from repro.gpu.kernel import (
+        DEFAULT_BLOCK_EVENTS,
+        _env_block_events,
+        plan_sm_trace,
+    )
+
+    if block_events is None:
+        block_events = _env_block_events() or DEFAULT_BLOCK_EVENTS
+    with obs.span(
+        "sim.layer", layer=spec.qualified_name, mode=mode.value
+    ):
+        lhb = None
+        if mode is not EliminationMode.BASELINE:
+            lhb = make_lhb(
+                lhb_entries, lhb_assoc, options.lhb_lifetime,
+                options.lhb_hashed_index,
+            )
+        plan = plan_sm_trace(spec, gpu, kernel, options)
+        events = plan.event_count()
+        obs.add("gen.traces")
+        obs.add("gen.events", events)
+        blocks = plan.iter_blocks(block_events)
+        writer = None
+        if store is not None:
+            from repro.runtime.cachekey import trace_key
+
+            digest = trace_key(
+                spec, gpu, kernel, replace(options, fast_path="auto")
+            )
+            writer = store.trace_stream_writer(digest, plan.meta(), events)
+            blocks = _tee_blocks(blocks, writer)
+        try:
+            with obs.span(
+                "sim.replay.stream", layer=spec.qualified_name
+            ):
+                sm_traced = replay_blocks_fast(
+                    blocks, plan.meta(), spec, gpu, options, mode, lhb
+                )
+            if writer is not None:
+                writer.commit()
+        except BaseException:
+            if writer is not None:
+                writer.abort()
+            raise
+        count_selected("fast")
+
+    return _assemble_result(
+        spec, mode, sm_traced, plan, events, gpu, options, timing,
+        lhb, lhb_entries, lhb_assoc,
+    )
+
+
+def _tee_blocks(blocks, writer):
+    for block in blocks:
+        writer.append(block)
+        yield block
 
 
 def simulate_pair(

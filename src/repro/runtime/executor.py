@@ -182,8 +182,11 @@ def simulate_point(
 # *ratio* of work to pool overhead to be roughly right, and the
 # decision can never change results — only where they are computed).
 
-#: Seconds per traced event to *generate* a trace (vectorised emission).
-SEC_PER_EVENT_GENERATE = 2.5e-7
+#: Seconds per traced event to *generate* a trace.  Re-calibrated for
+#: the closed-form columnar synthesizer (measured 1.2–2.2e-8 s/event on
+#: the benchmark layers; priced with headroom so small hosts still
+#: stay inline for now-cheap generation-bound chunks).
+SEC_PER_EVENT_GENERATE = 4e-8
 #: Seconds per event for one fast-tier (vectorised) replay.
 SEC_PER_EVENT_FAST = 1.5e-7
 #: Seconds per event for one event-tier (Python state machine) replay.

@@ -26,6 +26,11 @@ decompress, and every worker on the host shares one copy of the pages
 through the OS page cache.  The ``.meta.json`` file is written *after*
 the events file, so its presence implies a complete pair; a missing or
 torn pair degrades to the ``.npz`` read.
+:meth:`DiskCache.trace_stream_writer` produces the
+same pair *incrementally* — trace blocks are appended behind a
+closed-form-sized ``.npy`` header as they are generated, so persisting
+a trace never requires materialising it (``get_trace`` serves the
+sidecar pair even on stores opened without ``mmap_traces``).
 
 Writes are atomic (temp file + ``os.replace``) so concurrent worker
 processes can populate the same store without torn reads; a reader
@@ -209,14 +214,35 @@ class DiskCache:
                 pass
             raise
 
-    def _get_trace_mmap(self, key: str):
+    def trace_stream_writer(self, key: str, meta: dict, total_events: int):
+        """Open a :class:`TraceStreamWriter` for ``key``.
+
+        The streaming twin of :meth:`put_trace`: trace blocks are
+        appended straight into the mmap-able ``.events.npy`` sidecar
+        as they are generated — the full trace is never materialised
+        in memory.  ``total_events`` sizes the ``.npy`` header up
+        front (``TracePlan.event_count()`` provides it in closed
+        form); ``meta`` is the scalar-field dict
+        (``TracePlan.meta()`` / ``KernelTrace.meta()``) persisted as
+        the committing ``.meta.json``.
+
+        No compressed ``.npz`` twin is written — :meth:`get_trace`
+        serves the sidecar pair directly (any reader, not just
+        ``mmap_traces`` stores).
+        """
+        events = self._path("traces", key, suffix=".events.npy")
+        meta_path = self._path("traces", key, suffix=".meta.json")
+        events.parent.mkdir(parents=True, exist_ok=True)
+        return TraceStreamWriter(events, meta_path, meta, total_events)
+
+    def _get_trace_sidecar(self, key: str, mmap: bool = True):
         from repro.gpu.isa import KernelTrace
 
         meta_path = self._path("traces", key, suffix=".meta.json")
         events_path = self._path("traces", key, suffix=".events.npy")
         try:
             meta = json.loads(meta_path.read_text())
-            return KernelTrace.load_npy(str(events_path), meta, mmap=True)
+            return KernelTrace.load_npy(str(events_path), meta, mmap=mmap)
         except FileNotFoundError:
             return None
         except Exception:
@@ -233,11 +259,15 @@ class DiskCache:
     def get_trace(self, key: str):
         trace = None
         if self.mmap_traces:
-            trace = self._get_trace_mmap(key)
+            trace = self._get_trace_sidecar(key, mmap=True)
             if trace is not None:
                 obs.add("store.trace_mmap_hits")
         if trace is None:
             trace = self._get_trace_npz(key)
+        if trace is None:
+            # Stream-written traces persist only the sidecar pair —
+            # serve it (densely) even when this store doesn't mmap.
+            trace = self._get_trace_sidecar(key, mmap=False)
         if trace is None:
             # Legacy stores persisted pickled traces.
             trace = self._get("traces", key)
@@ -372,6 +402,101 @@ class DiskCache:
                     except OSError:
                         pass
         return removed
+
+
+class TraceStreamWriter:
+    """Incremental writer of one trace's ``.events.npy`` sidecar pair.
+
+    Append blocks in emission order, then :meth:`commit`::
+
+        writer = cache.trace_stream_writer(key, plan.meta(), plan.event_count())
+        try:
+            for block in plan.iter_blocks(block_events):
+                writer.append(block)
+            writer.commit()
+        except BaseException:
+            writer.abort()
+            raise
+
+    The ``.npy`` header is written first from the closed-form event
+    count, each block's records are appended behind it, and the file
+    is byte-identical to :meth:`~repro.gpu.isa.KernelTrace.save_npy`
+    of the materialised trace.  Writes land in a temp file; commit
+    atomically publishes events first, then ``.meta.json`` (the
+    commit marker ``get_trace`` keys off), so readers never observe a
+    torn pair.  Committing with a block shortfall or overshoot raises
+    and leaves no artifact.
+    """
+
+    def __init__(self, events_path, meta_path, meta: dict, total_events: int):
+        import numpy as np
+
+        self._events_path = events_path
+        self._meta_path = meta_path
+        self._meta = dict(meta)
+        self._total = int(total_events)
+        self._written = 0
+        fd, self._tmp = tempfile.mkstemp(
+            dir=events_path.parent, suffix=".tmp"
+        )
+        self._fh = os.fdopen(fd, "wb")
+        from repro.gpu.isa import EVENT_DTYPE
+
+        np.lib.format.write_array_header_1_0(
+            self._fh,
+            {
+                "descr": np.lib.format.dtype_to_descr(EVENT_DTYPE),
+                "fortran_order": False,
+                "shape": (self._total,),
+            },
+        )
+
+    def append(self, block) -> None:
+        """Fold one :class:`~repro.gpu.isa.TraceBlock` into the file."""
+        records = block.to_columnar()
+        self._written += len(records)
+        if self._written > self._total:
+            raise ValueError(
+                f"stream overshot declared event count: {self._written} > "
+                f"{self._total}"
+            )
+        self._fh.write(records.tobytes())
+
+    def commit(self) -> None:
+        """Publish the completed pair (events, then the meta marker)."""
+        if self._written != self._total:
+            self.abort()
+            raise ValueError(
+                f"stream ended early: wrote {self._written} of "
+                f"{self._total} events"
+            )
+        self._fh.close()
+        os.replace(self._tmp, self._events_path)
+        fd, tmp = tempfile.mkstemp(
+            dir=self._meta_path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self._meta, fh)
+            os.replace(tmp, self._meta_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        obs.add("store.trace_stream_puts")
+
+    def abort(self) -> None:
+        """Drop the partial file; the store is left untouched."""
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(self._tmp)
+        except OSError:
+            pass
 
 
 def open_cache(path: Optional[str] = None) -> DiskCache:

@@ -173,7 +173,12 @@ class TestAnalyticCoverage:
         ) == "analytic"
         assert obs.counters_with_prefix("analytic.fallback") == {}
 
-    def test_warm_lhb_stays_on_event_path(self):
+    def test_warm_lhb_routes_to_fast_tier(self, monkeypatch):
+        """The analytic closed forms still assume a fresh buffer, but
+        the fallback now lands on the *fast* tier (which seeds its
+        recurrence from the residency snapshot) — never the event
+        path, so ``fastpath.fallback.warm-lhb`` stays retired."""
+        monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
         warm = LoadHistoryBuffer(num_entries=16)
         warm.access(1, 0, dest_reg=0)
         assert (
@@ -184,11 +189,8 @@ class TestAnalyticCoverage:
         )
         obs.enable()
         obs.reset()
-        assert not resolve_fast_path(OPTS, EliminationMode.DUPLO, warm)
-        assert obs.counters_with_prefix("fastpath.fallback") == {
-            "fastpath.fallback": 1,
-            "fastpath.fallback.warm-lhb": 1,
-        }
+        assert resolve_fast_path(OPTS, EliminationMode.DUPLO, warm)
+        assert obs.counters_with_prefix("fastpath.fallback") == {}
         profile = layer_profile(
             SPEC, EliminationMode.DUPLO, options=OPTS
         )

@@ -128,3 +128,46 @@ def test_baseline_mode_is_exact():
     )
     predicted = predict_stats(profile, None)
     assert dataclasses.asdict(predicted) == dataclasses.asdict(exact)
+
+
+def test_profile_stream_is_bit_exact_against_the_generator():
+    """``_build_load_stream`` consumes the generator's own planner
+    (``plan_sm_trace``) — this pins the remaining restated part, the
+    load *ordering*, bit-exact against the synthesized trace."""
+    import numpy as np
+
+    from repro.analytic.profile import _build_load_stream
+    from repro.gpu.config import (
+        BASELINE_KERNEL,
+        SimulationOptions,
+        TITAN_V,
+    )
+    from repro.gpu.isa import LOAD_A, STORE_D
+    from repro.gpu.kernel import generate_sm_trace
+
+    from tests.conftest import make_spec
+
+    cases = [
+        (get_layer("resnet", "C2"), BASELINE_KERNEL,
+         SimulationOptions(max_ctas=2)),
+        (make_spec(name="rect", h=6, w=10, c=8, filters=24),
+         BASELINE_KERNEL, SimulationOptions()),
+        (get_layer("yolo", "C2"),
+         dataclasses.replace(BASELINE_KERNEL, warp_runahead=3),
+         SimulationOptions(max_ctas=3)),
+    ]
+    for spec, kernel, options in cases:
+        trace = generate_sm_trace(spec, TITAN_V, kernel, options)
+        is_load = trace.kind != STORE_D
+        is_a, load_addr, geom, stores, mma_ops, meta = _build_load_stream(
+            spec, TITAN_V, kernel, options
+        )
+        assert np.array_equal(load_addr, trace.address[is_load])
+        assert np.array_equal(is_a, trace.kind[is_load] == LOAD_A)
+        assert stores == int((~is_load).sum())
+        assert mma_ops == trace.mma_ops
+        assert geom.lda == trace.lda
+        assert meta.traced_ctas == trace.traced_ctas
+        assert meta.total_ctas == trace.total_ctas
+        assert meta.grid_ctas == trace.grid_ctas
+        assert meta.concurrent_warps == trace.concurrent_warps

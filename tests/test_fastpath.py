@@ -17,7 +17,6 @@ from repro.core.lhb import LoadHistoryBuffer
 from repro.gpu.cache import SetAssociativeCache
 from repro.gpu.config import BASELINE_KERNEL, SimulationOptions, TITAN_V
 from repro.gpu.fastpath import (
-    FastPathUnsupported,
     distinct_count,
     dominance_counts,
     fast_path_fallback_reason,
@@ -29,7 +28,7 @@ from repro.gpu.fastpath import (
     supports_fast_path,
 )
 from repro.gpu.kernel import generate_sm_trace
-from repro.gpu.ldst import EliminationMode
+from repro.gpu.ldst import EliminationMode, replay_trace
 
 from tests.conftest import make_spec
 
@@ -277,30 +276,41 @@ class TestSupport:
         assert supports_fast_path(EliminationMode.WIR, direct)
         assert supports_fast_path(EliminationMode.DUPLO, wide)
 
-    def test_fallback_reason_for_warm_lhb(self):
-        """The one residual fallback: a buffer that already served
-        accesses has no closed form (the recurrences assume an empty
-        start state)."""
+    def test_fallback_reason_covers_warm_lhb(self):
+        """The last fallback is closed: a warm buffer's residency
+        snapshot seeds the recurrence, so every configuration — warm
+        caller-supplied buffers included — runs the fast path."""
         warm = LoadHistoryBuffer(num_entries=16, assoc=1)
         warm.access(1, 0, dest_reg=0)
-        assert not supports_fast_path(EliminationMode.DUPLO, warm)
-        assert (
-            fast_path_fallback_reason(EliminationMode.DUPLO, warm)
-            == "warm-lhb"
-        )
-        # BASELINE never consults the buffer, so warmth is irrelevant.
+        assert supports_fast_path(EliminationMode.DUPLO, warm)
+        assert fast_path_fallback_reason(EliminationMode.DUPLO, warm) is None
         assert supports_fast_path(EliminationMode.BASELINE, warm)
 
-    def test_replay_raises_for_warm_lhb(self):
+    def test_replay_matches_event_path_for_warm_lhb(self):
+        """A warm caller-supplied buffer replays bit-identically on
+        both paths, and the post-replay buffer state agrees too."""
         spec = make_spec()
         options = SimulationOptions(max_ctas=1)
         trace = generate_sm_trace(spec, TITAN_V, BASELINE_KERNEL, options)
-        warm = LoadHistoryBuffer(num_entries=16, assoc=4)
-        warm.access(1, 0, dest_reg=0)
-        with pytest.raises(FastPathUnsupported, match="warm-lhb"):
-            replay_trace_fast(
-                trace, spec, TITAN_V, options, EliminationMode.DUPLO, warm
-            )
+
+        def warmed():
+            lhb = LoadHistoryBuffer(num_entries=16, assoc=4, lifetime=64)
+            for i in range(40):
+                lhb.access(i % 11, i % 3, dest_reg=i)
+            return lhb
+
+        warm_fast, warm_event = warmed(), warmed()
+        fast = replay_trace_fast(
+            trace, spec, TITAN_V, options, EliminationMode.DUPLO, warm_fast
+        )
+        event = replay_trace(
+            trace, spec, TITAN_V, options, EliminationMode.DUPLO, warm_event
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(event)
+        assert dataclasses.asdict(warm_fast.stats) == dataclasses.asdict(
+            warm_event.stats
+        )
+        assert warm_fast.live_entries() == warm_event.live_entries()
 
     def test_replay_accepts_set_associative_lhb(self):
         """Regression for the closed fallback: a fresh wide LHB runs

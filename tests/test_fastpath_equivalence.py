@@ -26,7 +26,7 @@ from repro.gpu.config import (
     SimulationOptions,
     TITAN_V,
 )
-from repro.gpu.fastpath import FastPathUnsupported, replay_trace_fast
+from repro.gpu.fastpath import replay_trace_fast
 from repro.gpu.kernel import generate_sm_trace
 from repro.gpu.ldst import EliminationMode, replay_trace
 from repro.gpu.multikernel import simulate_shared_lhb
@@ -226,34 +226,33 @@ class TestSimulateLayerSwitch:
             obs.reset()
             obs.disable()
 
-    def test_warm_lhb_fallback_is_observable(self, monkeypatch):
-        """The one residual fallback (warm caller-supplied buffer) is
-        counted with its reason label instead of staying silent."""
+    def test_warm_lhb_stays_on_fast_path(self, monkeypatch):
+        """The retired fallback: a warm caller-supplied buffer now
+        seeds the recurrence, so auto keeps the fast path and the
+        ``fastpath.fallback.warm-lhb`` counter stays at zero."""
         monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
         warm = make_lhb(1024, 1, 4096, True)
         warm.access(1, 0, dest_reg=0)
         obs.enable()
         obs.reset()
         try:
-            assert not _resolve_fast_path(
+            assert _resolve_fast_path(
                 SimulationOptions(fast_path="auto"), EliminationMode.DUPLO,
                 warm,
             )
             counters = obs.snapshot()["counters"]
-            assert counters.get("fastpath.fallback") == 1
-            assert counters.get("fastpath.fallback.warm-lhb") == 1
+            assert "fastpath.fallback" not in counters, counters
+            assert "fastpath.fallback.warm-lhb" not in counters, counters
         finally:
             obs.reset()
             obs.disable()
 
-    def test_forced_on_rejects_warm_lhb(self):
+    def test_forced_on_accepts_warm_lhb(self):
         warm = make_lhb(1024, 1, 4096, True)
         warm.access(1, 0, dest_reg=0)
-        with pytest.raises(FastPathUnsupported, match="warm-lhb"):
-            _resolve_fast_path(
-                SimulationOptions(fast_path="on"), EliminationMode.DUPLO,
-                warm,
-            )
+        assert _resolve_fast_path(
+            SimulationOptions(fast_path="on"), EliminationMode.DUPLO, warm
+        )
 
     def test_env_override_steers_auto(self, monkeypatch):
         lhb = make_lhb(1024, 1, 4096, True)
@@ -333,10 +332,10 @@ class TestMultiKernelEquivalence:
         for a, b in zip(s_on, s_off):
             assert (a.lookups, a.hits) == (b.lookups, b.hits)
 
-    def test_warm_lhb_routes_to_event_path(self, monkeypatch):
-        """A warm shared buffer cannot use the closed forms: auto falls
-        back (observable), and the result still matches a pure event
-        run continued from the same state."""
+    def test_warm_lhb_stays_fast_and_matches_event(self, monkeypatch):
+        """A warm shared buffer seeds the closed forms: auto keeps the
+        fast path (no fallback counted) and the result matches a pure
+        event run continued from the same state."""
         monkeypatch.delenv("REPRO_FAST_PATH", raising=False)
         specs = [get_layer("gan", "TC3")]
         warm_a = make_lhb(128, 1, 4096, True)
@@ -345,12 +344,22 @@ class TestMultiKernelEquivalence:
         warm_b.access(7, 0, dest_reg=0)
         auto = dataclasses.replace(OPTIONS, fast_path="auto")
         off = dataclasses.replace(OPTIONS, fast_path="off")
-        s_auto = simulate_shared_lhb(specs, 128, options=auto, lhb=warm_a)
+        obs.enable()
+        obs.reset()
+        try:
+            s_auto = simulate_shared_lhb(specs, 128, options=auto, lhb=warm_a)
+            counters = obs.snapshot()["counters"]
+            assert "fastpath.fallback" not in counters, counters
+            assert counters.get("fastpath.shared_replays") == 1
+        finally:
+            obs.reset()
+            obs.disable()
         s_off = simulate_shared_lhb(specs, 128, options=off, lhb=warm_b)
         assert dataclasses.asdict(warm_a.stats) == dataclasses.asdict(
             warm_b.stats
         )
         assert s_auto[0].hits == s_off[0].hits
+        assert warm_a.live_entries() == warm_b.live_entries()
 
 
 class TestTraceSerialization:

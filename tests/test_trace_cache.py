@@ -148,10 +148,10 @@ class TestDiskBackedTraces:
         spec = make_spec()
         opts = SimulationOptions(max_ctas=1)
         simulate_layer(spec, options=opts)
-        # Truncate every persisted trace (npz plus any legacy pickle),
-        # drop memory, re-simulate.
+        # Truncate every persisted trace form (npz, the sidecar pair,
+        # any legacy pickle), drop memory, re-simulate.
         corrupted = 0
-        for pattern in ("*.npz", "*.pkl"):
+        for pattern in ("*.npz", "*.events.npy", "*.pkl"):
             for p in (tmp_path / "cache" / "traces").rglob(pattern):
                 p.write_bytes(b"\x80corrupt")
                 corrupted += 1
