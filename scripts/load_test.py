@@ -1,0 +1,263 @@
+"""Closed-loop load harness for the ``repro serve`` query server.
+
+Drives N client threads against a running server (or a server it
+boots in-process with ``--spawn``), each looping over a fixed warm
+query set as fast as responses come back, for a wall-clock window.
+Reports sustained QPS and exact latency percentiles as JSON — the
+numbers the CI ``service-load`` lane gates on and the
+``serve_warm_qps`` BENCH entry tracks.
+
+The harness is *closed-loop* (a thread issues its next query only
+after the previous response lands), so reported QPS is what the
+server actually sustained, not an open-loop arrival rate it silently
+shed.  Before the timed window every query is answered once untimed —
+warming the result cache / analytic profile — and ``--spot-check``
+re-answers a sample locally through
+:func:`repro.runtime.executor.simulate_point` and demands the served
+payloads be bit-identical (field-for-field equality after the JSON
+round-trip, which preserves floats exactly).
+
+Typical CI invocation (against a separately booted server)::
+
+    python scripts/load_test.py --url http://127.0.0.1:8321 \\
+        --threads 8 --duration 15 --min-qps 200 --max-p99-ms 100 \\
+        --spot-check 4 --out load_report.json
+
+Exit status is non-zero when any request errors, a spot check
+mismatches, or a ``--min-qps`` / ``--max-p99-ms`` floor is violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+SCHEMA_VERSION = 1
+
+#: Default query set: one layer across LHB geometries and tiers — the
+#: interactive design-space pattern the service exists for.  Analytic
+#: queries exercise the closed-form tier; the ``auto`` ones land in
+#: the warm result cache after the warm-up pass.
+DEFAULT_QUERIES: Tuple[Dict[str, Any], ...] = tuple(
+    {
+        "network": "yolo",
+        "layer": "C2",
+        "mode": "duplo",
+        "lhb_entries": entries,
+        "max_ctas": 2,
+        "engine": engine,
+    }
+    for engine in ("analytic", "auto")
+    for entries in (64, 256, 1024, None)
+)
+
+
+def _post_json(url: str, payload: Any, timeout: float = 60.0) -> Any:
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _get_json(url: str, timeout: float = 30.0) -> Any:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    """Exact (nearest-rank) percentile of a sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(round(p * len(sorted_values) + 0.5)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def spot_check(base_url: str, queries: List[Dict[str, Any]]) -> int:
+    """Served payload == local simulate_point payload, field for field."""
+    from repro.serve.schema import parse_query, query_point, result_payload
+    from repro.runtime.executor import simulate_point
+
+    matches = 0
+    for raw in queries:
+        served = _post_json(base_url + "/query", raw)
+        query = parse_query(raw)
+        local = result_payload(query, simulate_point(query_point(query)))
+        # Round-trip the local payload through JSON so both sides have
+        # identical types (tuples->lists); float values survive exactly.
+        if served == json.loads(json.dumps(local)):
+            matches += 1
+        else:
+            print(f"spot check MISMATCH for {raw}", file=sys.stderr)
+    return matches
+
+
+def run_load(
+    base_url: str,
+    queries: List[Dict[str, Any]],
+    threads: int,
+    duration_s: float,
+) -> Tuple[int, int, List[float], float]:
+    """Closed-loop window: (completed, errors, latencies_s, elapsed_s)."""
+    deadline = time.monotonic() + duration_s
+    per_thread: List[List[float]] = [[] for _ in range(threads)]
+    errors = [0] * threads
+
+    def worker(tid: int) -> None:
+        url = base_url + "/query"
+        i = tid  # offset so threads interleave the query set
+        while time.monotonic() < deadline:
+            body = queries[i % len(queries)]
+            i += threads
+            t0 = time.perf_counter()
+            try:
+                _post_json(url, body)
+            except (urllib.error.URLError, OSError, ValueError):
+                errors[tid] += 1
+                continue
+            per_thread[tid].append(time.perf_counter() - t0)
+
+    pool = [
+        threading.Thread(target=worker, args=(tid,), daemon=True)
+        for tid in range(threads)
+    ]
+    started = time.monotonic()
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    elapsed = time.monotonic() - started
+    latencies = sorted(x for bucket in per_thread for x in bucket)
+    # QPS is normalised to the actual window (joins can overshoot).
+    return len(latencies), sum(errors), latencies, elapsed
+
+
+def _spawn_server() -> Tuple[str, Any]:
+    """Boot an in-process server on an ephemeral port (self-contained runs)."""
+    from repro.serve import QueryService, make_server
+
+    server = make_server("127.0.0.1", 0, QueryService())
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}", server
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--url", help="base URL of a running repro serve")
+    target.add_argument(
+        "--spawn", action="store_true",
+        help="boot an in-process server on an ephemeral port instead",
+    )
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=15.0,
+                        help="timed window, seconds (default 15)")
+    parser.add_argument(
+        "--spot-check", type=int, default=4, metavar="N",
+        help="queries to verify bit-identical against simulate_point",
+    )
+    parser.add_argument("--min-qps", type=float, default=None,
+                        help="fail below this sustained QPS")
+    parser.add_argument("--max-p99-ms", type=float, default=None,
+                        help="fail above this p99 latency")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here (always printed)")
+    parser.add_argument(
+        "--queries", default=None, metavar="PATH",
+        help="JSON array of query objects (default: built-in yolo C2 set)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.threads < 1 or args.duration <= 0:
+        parser.error("--threads must be >= 1 and --duration > 0")
+    queries = list(DEFAULT_QUERIES)
+    if args.queries:
+        with open(args.queries) as fh:
+            queries = json.load(fh)
+
+    server = None
+    base_url = args.url.rstrip("/") if args.url else ""
+    if args.spawn:
+        base_url, server = _spawn_server()
+    try:
+        # Warm-up: every query answered once, untimed — populates the
+        # result cache / analytic profile so the window measures the
+        # steady state the service is designed for.
+        for body in queries:
+            _post_json(base_url + "/query", body)
+
+        checked = min(args.spot_check, len(queries))
+        matched = spot_check(base_url, queries[:checked]) if checked else 0
+
+        completed, errors, latencies, elapsed = run_load(
+            base_url, queries, args.threads, args.duration
+        )
+        try:
+            server_metrics = _get_json(base_url + "/metrics")
+        except (urllib.error.URLError, OSError, ValueError):
+            server_metrics = None
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.service.close()
+
+    qps = completed / elapsed if elapsed > 0 else 0.0
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "url": base_url,
+        "threads": args.threads,
+        "window_s": round(elapsed, 3),
+        "query_set": len(queries),
+        "completed": completed,
+        "errors": errors,
+        "qps": round(qps, 1),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p90": round(_percentile(latencies, 0.90) * 1e3, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "max": round((latencies[-1] if latencies else 0.0) * 1e3, 3),
+        },
+        "spot_check": {"checked": checked, "matched": matched},
+        "server_metrics": server_metrics,
+    }
+    text = json.dumps(report, indent=1)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+
+    failures = []
+    if errors:
+        failures.append(f"{errors} request error(s)")
+    if matched != checked:
+        failures.append(f"spot check: {matched}/{checked} bit-identical")
+    if args.min_qps is not None and qps < args.min_qps:
+        failures.append(f"sustained QPS {qps:.1f} < floor {args.min_qps}")
+    p99_ms = report["latency_ms"]["p99"]
+    if args.max_p99_ms is not None and p99_ms > args.max_p99_ms:
+        failures.append(f"p99 {p99_ms:.1f} ms > cap {args.max_p99_ms}")
+    if failures:
+        print("LOAD GATE FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"load gate OK: {qps:.1f} qps sustained over {elapsed:.1f}s, "
+        f"p99 {p99_ms:.1f} ms, {checked}/{checked} spot checks bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

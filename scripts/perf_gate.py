@@ -7,10 +7,13 @@ set-associative — a PID-tagged multi-kernel shared-LHB replay in both
 implementations, an end-to-end baseline/Duplo pair, a warm-cache sweep
 rerun, a cold fast-path query, an analytic-tier geometry sweep, a cold
 parallel sweep under four executor configurations: serial, adaptive
-cutover, forced thread pool, forced process pool, and a subprocess
-streaming sweep whose manifest peak RSS must stay under a committed
-cap), takes the **median over N repeats**, and either records a
-baseline or checks the current build against one.
+cutover, forced thread pool, forced process pool, a subprocess
+streaming sweep — driven through the SweepExecutor — whose manifest
+peak RSS must stay under a committed cap, and a warm-service QPS run
+through the full ``repro.serve`` HTTP stack with every response
+checked bit-identical against ``simulate_point``), takes the
+**median over N repeats**, and either records a baseline or checks
+the current build against one.
 
 Record a fresh baseline (after an intentional perf-relevant change)::
 
@@ -99,6 +102,11 @@ STREAMING_SWEEP_BATCH = 64
 #: :class:`~repro.gpu.isa.TraceBlock`); small enough that hundreds of
 #: blocks flow through every layer.
 STREAMING_SWEEP_BLOCK_EVENTS = 65536
+#: Warm-query passes per timed serve_warm_qps run: each pass answers
+#: the full query set once over HTTP against the in-process server, so
+#: one timed body is ``SERVE_WARM_PASSES * len(set)`` round-trips —
+#: long enough for a stable median through the socket stack.
+SERVE_WARM_PASSES = 25
 #: Committed peak-RSS cap for the streaming_sweep child process, read
 #: from its obs run manifest (``ru_maxrss``).  Measured ~211 MB on the
 #: reference host (interpreter + NumPy import dominate); the cap is a
@@ -106,39 +114,58 @@ STREAMING_SWEEP_BLOCK_EVENTS = 65536
 STREAMING_SWEEP_RSS_CAP_BYTES = 512 * 2**20
 
 #: Child body for the streaming_sweep benchmark: a full-network
-#: large-batch streaming run in its own interpreter so the manifest's
-#: ``peak_rss_bytes`` (ru_maxrss — a high-water mark, never resettable
-#: in-process) measures exactly this workload and nothing else.
+#: large-batch cold sweep *through the SweepExecutor* in its own
+#: interpreter so the manifest's ``peak_rss_bytes`` (ru_maxrss — a
+#: high-water mark, never resettable in-process) measures exactly this
+#: workload and nothing else.  Driving the executor (rather than
+#: calling ``simulate_layer_streaming`` directly) locks the sweep-path
+#: streaming dispatch: every cold fast-tier point must route through
+#: the bounded-RSS entry, asserted by the ``executor.streamed_points``
+#: counter the child exports alongside its results.
 _STREAMING_SWEEP_CHILD = """\
 import dataclasses
 import json
+import os
 import sys
 
 from repro import obs
 from repro.conv.workloads import layers_for_network
-from repro.gpu.config import BASELINE_KERNEL, SimulationOptions, TITAN_V
+from repro.gpu.config import SimulationOptions
+from repro.gpu.kernel import TRACE_BLOCK_ENV
 from repro.gpu.ldst import EliminationMode
-from repro.gpu.simulator import simulate_layer_streaming
+from repro.runtime.executor import SimPoint, SweepExecutor
 
 batch, block_events = json.loads(sys.argv[1])
-rows = []
-for spec in layers_for_network("yolo"):
-    spec = dataclasses.replace(spec, batch=batch)
-    result = simulate_layer_streaming(
-        spec,
+os.environ[TRACE_BLOCK_ENV] = str(block_events)
+obs.enable()
+obs.reset()
+points = [
+    SimPoint(
+        spec=dataclasses.replace(spec, batch=batch),
         mode=EliminationMode.DUPLO,
         options=SimulationOptions(engine="fast"),
-        block_events=block_events,
     )
-    rows.append([
+    for spec in layers_for_network("yolo")
+]
+results = SweepExecutor(jobs=1, backend="serial").run(points)
+rows = [
+    [
         result.cycles,
         int(result.stats.lhb_hits),
         int(result.stats.lhb_lookups),
         int(result.stats.eliminated_fragments),
-    ])
+    ]
+    for result in results
+]
+streamed = obs.counters_with_prefix("executor.streamed_points")
 manifest = obs.collect_manifest("streaming_sweep", argv=sys.argv)
 json.dump(
-    {"rows": rows, "peak_rss_bytes": manifest.peak_rss_bytes}, sys.stdout
+    {
+        "rows": rows,
+        "streamed_points": streamed.get("executor.streamed_points", 0),
+        "peak_rss_bytes": manifest.peak_rss_bytes,
+    },
+    sys.stdout,
 )
 """
 
@@ -220,12 +247,16 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
         return run, counters
 
     def streaming_sweep_setup():
-        """Full-network large-batch streaming run, bounded peak RSS.
+        """Full-network large-batch cold sweep, bounded peak RSS.
 
-        The timed body launches a child interpreter running
-        :func:`~repro.gpu.simulator.simulate_layer_streaming` over
-        every yolo layer at batch ``STREAMING_SWEEP_BATCH`` with a
-        small block budget, then reads the child's obs run manifest:
+        The timed body launches a child interpreter running a
+        :class:`~repro.runtime.executor.SweepExecutor` over every yolo
+        layer at batch ``STREAMING_SWEEP_BATCH`` with a small block
+        budget — the executor's streaming dispatch must route every
+        cold fast-tier point through
+        :func:`~repro.gpu.simulator.simulate_layer_streaming`
+        (``all_points_streamed``) — then reads the child's obs run
+        manifest:
         ``peak_rss_bytes`` must stay under the committed
         ``STREAMING_SWEEP_RSS_CAP_BYTES`` and the streamed results
         must equal the in-memory :func:`simulate_layer` reference
@@ -283,6 +314,9 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
                     peak is None or peak < STREAMING_SWEEP_RSS_CAP_BYTES
                 ),
                 "matches_inmemory": int(payload["rows"] == reference),
+                "all_points_streamed": int(
+                    payload["streamed_points"] == len(payload["rows"])
+                ),
             }
 
         def extra(payload):
@@ -497,6 +531,82 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
 
         return run, counters
 
+    def serve_warm_setup():
+        """Warm-cache QPS through the full service + HTTP stack.
+
+        An in-process :class:`~repro.serve.QueryService` (fresh cache
+        dir) serves the load harness's default query set; the warm-up
+        pass and per-query reference payloads are computed untimed.
+        The timed body answers the whole set ``SERVE_WARM_PASSES``
+        times over real localhost HTTP, comparing every response to
+        its reference — so ``bit_identical`` is a deterministic
+        counter while the achieved QPS lands in ``extra`` (absolute
+        throughput is host-shaped; the 3x median backstop still
+        catches a collapse).
+        """
+        import atexit
+        import shutil
+        import tempfile
+        import threading
+        import urllib.request
+
+        from repro.runtime.executor import simulate_point
+        from repro.serve import QueryService, ServiceConfig, make_server
+        from repro.serve.schema import parse_query, query_point, result_payload
+
+        sys.path.insert(0, os.path.join(REPO_ROOT, "scripts"))
+        from load_test import DEFAULT_QUERIES
+
+        tmp = tempfile.mkdtemp(prefix="perf_gate_serve_")
+        atexit.register(shutil.rmtree, tmp, True)
+        service = QueryService(ServiceConfig(cache_dir=tmp))
+        server = make_server("127.0.0.1", 0, service)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        atexit.register(server.shutdown)
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}/query"
+
+        def ask(body):
+            req = urllib.request.Request(
+                url,
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return json.loads(resp.read())
+
+        queries = list(DEFAULT_QUERIES)
+        reference = []
+        for body in queries:
+            ask(body)  # untimed warm-up: caches + analytic profile
+            q = parse_query(body)
+            reference.append(
+                json.loads(
+                    json.dumps(result_payload(q, simulate_point(query_point(q))))
+                )
+            )
+
+        def run():
+            identical = 0
+            for _ in range(SERVE_WARM_PASSES):
+                for body, expect in zip(queries, reference):
+                    if ask(body) == expect:
+                        identical += 1
+            return identical
+
+        total = SERVE_WARM_PASSES * len(queries)
+
+        def counters(identical):
+            return {
+                "queries": total,
+                "bit_identical": int(identical == total),
+            }
+
+        def extra(identical):
+            return {"note": "qps = queries / median_s (host-shaped)"}
+
+        return run, counters, extra
+
     def warm_sweep_setup():
         import atexit
         import shutil
@@ -539,6 +649,7 @@ def _bench_suite() -> Dict[str, Callable[[], Tuple[Callable, Callable]]]:
         "multikernel_event.yolo_gan": lambda: _multikernel_setup(False),
         "simulate_pair.gan_tc3": simulate_pair_setup,
         "sweep.warm_cache": warm_sweep_setup,
+        "serve_warm_qps.default_set": serve_warm_setup,
         "parallel_sweep.serial":
             lambda: _parallel_sweep_setup("serial", jobs=1),
         "parallel_sweep.adaptive":
@@ -621,6 +732,14 @@ def derived_ratios(benchmarks: Dict[str, dict]) -> Dict[str, float]:
     # per-usable-worker and therefore host-shaped (a 1-core baseline
     # checked on a 16-core runner compares forced-pool scaling, which
     # the 25% ratio tolerance is expected to absorb).
+    # Warm service throughput in queries/second.  Like
+    # parallel_efficiency this is host-shaped (localhost socket stack
+    # plus interpreter speed); the 25% floor catches a serving-path
+    # regression while a faster runner sails through.
+    serve = benchmarks.get("serve_warm_qps.default_set", {})
+    serve_queries = serve.get("counters", {}).get("queries")
+    if serve.get("median_s") and serve_queries:
+        ratios["serve_warm_qps"] = round(serve_queries / serve["median_s"], 1)
     serial_min = benchmarks.get("parallel_sweep.serial", {}).get("min_s")
     adaptive_min = benchmarks.get("parallel_sweep.adaptive", {}).get("min_s")
     if serial_min and adaptive_min:

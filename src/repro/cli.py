@@ -17,6 +17,10 @@ Commands
     Print the model's headline numbers against the paper's.
 ``cache stats`` / ``cache clear``
     Inspect or empty the persistent trace/result cache.
+``serve``
+    Long-running HTTP what-if query server (``docs/SERVICE.md``):
+    coalesced ``/query``, async ``/sweep`` jobs, ``/metrics``, and a
+    byte-capped store (``--store-max-bytes``).
 """
 
 from __future__ import annotations
@@ -306,6 +310,29 @@ def _cmd_calibration(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QueryService, ServiceConfig, make_server
+    from repro.serve import serve_forever
+
+    service = QueryService(
+        ServiceConfig(
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+            store_max_bytes=args.store_max_bytes,
+            sweep_jobs=args.jobs,
+            sweep_backend=args.backend,
+            job_workers=args.job_workers,
+        )
+    )
+    server = make_server(args.host, args.port, service)
+    host, port = server.server_address[:2]
+    # The bound address goes to stdout so callers using --port 0 can
+    # discover the ephemeral port (the CI load lane does).
+    print(f"serving on http://{host}:{port}", flush=True)
+    serve_forever(server)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.runtime import DiskCache
 
@@ -381,7 +408,27 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--max-ctas", type=int, default=2)
     _add_fast_path_flag(net)
 
-    for command in (layers, sim, exp, cal, cache, ins, net):
+    srv = sub.add_parser(
+        "serve", help="long-running HTTP what-if query server"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 = ephemeral; the bound address is printed)",
+    )
+    srv.add_argument(
+        "--store-max-bytes", type=_positive_int, default=None,
+        metavar="BYTES",
+        help="byte cap on the persistent store; the service evicts "
+        "LRU artifact groups past it (default: unbounded)",
+    )
+    srv.add_argument(
+        "--job-workers", type=_positive_int, default=1,
+        help="background workers draining the /sweep job queue",
+    )
+    _add_runtime_flags(srv)
+
+    for command in (layers, sim, exp, cal, cache, ins, net, srv):
         _add_obs_flags(command)
 
     return parser
@@ -451,6 +498,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "network": _cmd_network,
         "inspect": _cmd_inspect,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
     }
     if getattr(args, "log_level", None):
         obs.configure_logging(args.log_level)

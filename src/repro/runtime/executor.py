@@ -51,6 +51,21 @@ Three worker venues exist (``backend=``):
 fast-tier chunks → threads, both pools may run concurrently);
 ``serial`` forces inline.
 
+Cold fast-tier points **stream**: when neither the in-process LRU nor
+the disk store holds a point's trace, :func:`simulate_point` routes it
+through :func:`~repro.gpu.simulator.simulate_layer_streaming` — trace
+blocks flow straight from the closed-form synthesizer into the
+replay's incremental accumulator (and, when a store is attached, into
+its streaming sidecar writer), so a full-network cold sweep never
+materialises any layer's event columns.  Peak RSS stays bounded by one
+block plus the replay's compact derived streams, which the
+``streaming_sweep`` perf-gate benchmark asserts end to end through
+this executor.  Warm traces keep the cheaper replay-from-store path
+(mmap zero-copy where enabled).  ``streaming="off"`` (or
+``$REPRO_SWEEP_STREAM=off``) restores the materialising path; results
+are bit-identical either way (the PR 8 equivalence suite pins this at
+any block size).
+
 Determinism contract: a point's :class:`LayerResult` is a pure
 function of the point (the simulator has no hidden state beyond its
 caches, which only ever return artifacts produced by the same pure
@@ -87,6 +102,14 @@ from repro.runtime.store import DiskCache
 
 #: Valid ``SweepExecutor(backend=...)`` values.
 BACKENDS = ("auto", "serial", "threads", "processes", "shared-store")
+
+#: Valid ``SweepExecutor(streaming=...)`` values.  ``auto`` streams
+#: cold fast-tier points (bounded RSS); ``off`` always materialises.
+STREAMING_MODES = ("auto", "off")
+
+#: Environment override for the streaming dispatch: ``on``/``off``
+#: apply when the executor was constructed with ``streaming="auto"``.
+STREAM_ENV = "REPRO_SWEEP_STREAM"
 
 
 @dataclass(frozen=True)
@@ -138,17 +161,56 @@ def _resolves_analytic(point: SimPoint) -> bool:
     )
 
 
+def _stream_cold(point: SimPoint, cache: Optional[DiskCache]) -> bool:
+    """Should this point stream instead of materialising its trace?
+
+    Streaming pays off exactly when the trace does not exist anywhere
+    yet: the closed-form synthesizer then feeds the replay (and the
+    store's sidecar writer) blockwise, so nothing ever holds the full
+    event columns.  A trace already in the in-process LRU or the disk
+    store is cheaper to replay from (mmap zero-copy where enabled) —
+    and keeps RSS flat anyway, since it is materialised at most once.
+    Only the fast tier can stream (the accumulator is the vectorised
+    replay's), and the retired loop generator
+    (``$REPRO_TRACE_GEN=loop``) cannot synthesize blocks at all.
+    """
+    from repro.gpu import simulator
+    from repro.gpu.kernel import TRACE_GEN_ENV
+
+    if _point_tier(point) != "fast":
+        return False
+    if os.environ.get(TRACE_GEN_ENV, "").strip().lower() == "loop":
+        return False
+    if simulator.trace_is_cached(
+        point.spec, point.gpu, point.kernel, point.options
+    ):
+        return False
+    store = cache if cache is not None else simulator.get_trace_store()
+    if store is not None and store.has_trace(
+        trace_key(point.spec, point.gpu, point.kernel, point.options)
+    ):
+        return False
+    return True
+
+
 def simulate_point(
     point: SimPoint,
     cache: Optional[DiskCache] = None,
     key: Optional[str] = None,
+    streaming: bool = False,
 ):
     """Get-or-compute one point's :class:`LayerResult`.
 
     ``key`` is the precomputed result key when the caller already paid
     for it (the executor's prefilter ships keys with the points so
-    workers never recompute the digest).
+    workers never recompute the digest).  ``streaming=True`` routes
+    cold fast-tier points through the bounded-RSS
+    :func:`~repro.gpu.simulator.simulate_layer_streaming` entry,
+    teeing the synthesized trace into ``cache`` (or the simulator's
+    attached trace store) so later points find it warm; results are
+    bit-identical to the materialising path.
     """
+    from repro.gpu import simulator
     from repro.gpu.simulator import simulate_layer
 
     if cache is not None and _resolves_analytic(point):
@@ -159,15 +221,29 @@ def simulate_point(
         hit = cache.get_result(key)
         if hit is not None:
             return hit
-    result = simulate_layer(
-        point.spec,
-        point.mode,
-        lhb_entries=point.lhb_entries,
-        lhb_assoc=point.lhb_assoc,
-        gpu=point.gpu,
-        kernel=point.kernel,
-        options=point.options,
-    )
+    if streaming and _stream_cold(point, cache):
+        tee = cache if cache is not None else simulator.get_trace_store()
+        obs.add("executor.streamed_points")
+        result = simulator.simulate_layer_streaming(
+            point.spec,
+            point.mode,
+            lhb_entries=point.lhb_entries,
+            lhb_assoc=point.lhb_assoc,
+            gpu=point.gpu,
+            kernel=point.kernel,
+            options=point.options,
+            store=tee,
+        )
+    else:
+        result = simulate_layer(
+            point.spec,
+            point.mode,
+            lhb_entries=point.lhb_entries,
+            lhb_assoc=point.lhb_assoc,
+            gpu=point.gpu,
+            kernel=point.kernel,
+            options=point.options,
+        )
     if cache is not None:
         cache.put_result(key, result)
     return result
@@ -331,11 +407,14 @@ def _run_chunk(job):
     state is reset after export so a worker serving many chunks ships
     each delta exactly once.
     """
-    index, points = job
+    index, points, streaming = job
     if not obs.enabled():
         return (
             index,
-            [simulate_point(p, _worker_cache, key) for _, p, key in points],
+            [
+                simulate_point(p, _worker_cache, key, streaming=streaming)
+                for _, p, key in points
+            ],
             None,
         )
     t0 = time.perf_counter()
@@ -343,7 +422,10 @@ def _run_chunk(job):
     with obs.span(
         "executor.chunk", layer=layer, points=len(points), backend="processes"
     ):
-        results = [simulate_point(p, _worker_cache, key) for _, p, key in points]
+        results = [
+            simulate_point(p, _worker_cache, key, streaming=streaming)
+            for _, p, key in points
+        ]
     payload = obs.export_state()
     payload["busy_s"] = time.perf_counter() - t0
     payload["pid"] = os.getpid()
@@ -351,7 +433,9 @@ def _run_chunk(job):
     return index, results, payload
 
 
-def _run_chunk_threaded(plan: _ChunkPlan, cache: Optional[DiskCache]):
+def _run_chunk_threaded(
+    plan: _ChunkPlan, cache: Optional[DiskCache], streaming: bool = False
+):
     """Thread-worker body: records straight onto the shared registry.
 
     No ``export_state`` / ``merge_state`` / ``reset`` here: the thread
@@ -370,7 +454,8 @@ def _run_chunk_threaded(plan: _ChunkPlan, cache: Optional[DiskCache]):
         backend="threads",
     ):
         out = [
-            (pi, simulate_point(p, cache, key)) for pi, p, key in plan.missing
+            (pi, simulate_point(p, cache, key, streaming=streaming))
+            for pi, p, key in plan.missing
         ]
     return plan.index, out, time.perf_counter() - t0
 
@@ -399,6 +484,12 @@ class SweepExecutor:
         seconds threshold — pools open when the pending work prices at
         or above it (``0`` forces pooling, ``math.inf`` forces
         inline).  Venue only: the decision can never change results.
+    streaming:
+        ``"auto"`` (default) streams cold fast-tier points through the
+        bounded-RSS :func:`simulate_layer_streaming` entry (teeing
+        fresh traces into the store); ``"off"`` always materialises.
+        ``$REPRO_SWEEP_STREAM=off`` pins it off when left at auto.
+        Bit-identical either way — this knob only moves memory.
     shared_timeout_s / shared_poll_s:
         Shared-store patience: how long to wait for another host's
         claimed chunk before stealing it, and the poll interval.
@@ -410,6 +501,7 @@ class SweepExecutor:
         cache: Optional[DiskCache] = None,
         backend: str = "auto",
         cutover: Union[str, float] = "auto",
+        streaming: str = "auto",
         shared_timeout_s: float = 300.0,
         shared_poll_s: float = 0.05,
     ):
@@ -418,6 +510,11 @@ class SweepExecutor:
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if streaming not in STREAMING_MODES:
+            raise ValueError(
+                f"streaming must be one of {STREAMING_MODES}, "
+                f"got {streaming!r}"
             )
         if cutover != "auto":
             cutover = float(cutover)
@@ -429,8 +526,15 @@ class SweepExecutor:
         self.cache = cache
         self.backend = backend
         self.cutover = cutover
+        self.streaming = streaming
         self.shared_timeout_s = shared_timeout_s
         self.shared_poll_s = shared_poll_s
+
+    def _stream(self) -> bool:
+        """Resolved streaming dispatch (constructor + env override)."""
+        if self.streaming == "off":
+            return False
+        return os.environ.get(STREAM_ENV, "").strip().lower() != "off"
 
     # -- public API -----------------------------------------------------
 
@@ -619,8 +723,10 @@ class SweepExecutor:
                 initializer=_init_worker,
                 initargs=(root, obs.enabled()),
             )
+            stream = self._stream()
             proc_iter = pool.imap_unordered(
-                _run_chunk, [(p.index, p.missing) for p in proc_plans]
+                _run_chunk,
+                [(p.index, p.missing, stream) for p in proc_plans],
             )
 
         from repro.gpu import simulator
@@ -635,7 +741,9 @@ class SweepExecutor:
                 obs.add("executor.dispatch.threads", len(thread_plans))
                 with ThreadPoolExecutor(max_workers=nthreads) as tpool:
                     for ci, out, chunk_busy in tpool.map(
-                        lambda p: _run_chunk_threaded(p, self.cache),
+                        lambda p: _run_chunk_threaded(
+                            p, self.cache, self._stream()
+                        ),
                         thread_plans,
                     ):
                         busy_s += chunk_busy
@@ -651,7 +759,8 @@ class SweepExecutor:
                     ):
                         for pi, point, key in plan.missing:
                             results[(plan.index, pi)] = simulate_point(
-                                point, self.cache, key
+                                point, self.cache, key,
+                                streaming=self._stream(),
                             )
         finally:
             if self.cache is not None:

@@ -38,6 +38,18 @@ either sees a complete artifact or a miss.  Unpickling failures
 (truncated file, version skew) degrade to a miss and the offending
 file is dropped.
 
+A store opened with ``max_bytes=N`` enforces a **size-capped
+admission/eviction policy**: after every write the on-disk total is
+brought back under the cap by deleting whole artifact *groups* (all
+suffixes sharing one content key — an ``.npz`` never outlives its
+sidecar pair) in least-recently-used order.  Recency is the artifact's
+mtime: reads touch the files they serve, so a hot working set survives
+while stale sweep residue is reclaimed.  Evicted groups count into
+``store.evictions`` (and ``CacheStats.evictions``); the artifact just
+written is never a candidate.  The long-running query server
+(:mod:`repro.serve`) runs its shared store capped so unbounded
+design-space exploration cannot fill the disk.
+
 ``try_claim`` implements the shared-store coordination primitive: an
 ``O_CREAT | O_EXCL`` create of a claim file, atomic on POSIX
 filesystems (including the NFS-style shares a multi-host sweep would
@@ -61,7 +73,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 
@@ -90,6 +102,7 @@ class CacheStats:
     trace_files: int = 0
     result_files: int = 0
     disk_bytes: int = 0
+    evictions: int = 0
     root: str = ""
 
     def as_dict(self) -> dict:
@@ -104,19 +117,117 @@ class DiskCache:
     ``.events.npy`` sidecar via ``np.load(..., mmap_mode="r")`` — the
     zero-copy hand-off worker processes use (falls back to the
     compressed archive when no sidecar exists).
+
+    ``max_bytes`` (``None`` = unbounded, the default) caps the on-disk
+    total: every write is followed by an LRU-by-mtime eviction pass
+    that deletes whole artifact groups until the store fits the cap
+    again.  Reads touch the artifacts they serve so the hot working
+    set stays resident.  An artifact *larger than the whole cap* is
+    never admitted — it is written (the caller's result is unaffected)
+    and reclaimed in the same pass.
     """
 
     root: Path = field(default_factory=default_cache_dir)
     mmap_traces: bool = False
+    max_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise ValueError(
+                f"max_bytes must be positive or None, got {self.max_bytes}"
+            )
         self._stats = CacheStats(root=str(self.root))
 
     # -- path arithmetic ------------------------------------------------
 
     def _path(self, family: str, key: str, suffix: str = ".pkl") -> Path:
         return self.root / family / key[:2] / f"{key}{suffix}"
+
+    # -- size-capped admission/eviction ---------------------------------
+
+    #: Per-family suffixes forming one artifact *group* — eviction and
+    #: the LRU touch always treat a key's files as a unit, so a trace
+    #: archive never outlives its mmap sidecar pair (or vice versa).
+    _GROUP_SUFFIXES = {
+        "traces": (".npz", ".events.npy", ".meta.json", ".pkl"),
+        "results": (".pkl",),
+    }
+
+    def _touch(self, family: str, key: str) -> None:
+        """Refresh an artifact group's mtime — the LRU recency signal.
+
+        Only capped stores pay the ``utime`` calls; unbounded stores
+        never evict, so recency is meaningless there.
+        """
+        if self.max_bytes is None:
+            return
+        now = time.time()
+        for suffix in self._GROUP_SUFFIXES[family]:
+            try:
+                os.utime(self._path(family, key, suffix), (now, now))
+            except OSError:
+                pass
+
+    def _admit(self, family: str, key: str) -> None:
+        """Post-write hook: bring the store back under ``max_bytes``.
+
+        ``(family, key)`` — the artifact just written — is evicted
+        only as a last resort (when it alone exceeds the whole cap),
+        so a hot put can never be starved by its own admission pass.
+        """
+        if self.max_bytes is None:
+            return
+        self._evict_over_cap(protect=(family, key))
+
+    def _evict_over_cap(
+        self, protect: Optional[Tuple[str, str]] = None
+    ) -> None:
+        groups: Dict[Tuple[str, str], List[Tuple[Path, int]]] = {}
+        recency: Dict[Tuple[str, str], float] = {}
+        total = 0
+        for family in self._GROUP_SUFFIXES:
+            base = self.root / family
+            if not base.is_dir():
+                continue
+            for pattern in self._FAMILY_PATTERNS[family]:
+                for p in base.rglob(pattern):
+                    try:
+                        st = p.stat()
+                    except OSError:
+                        continue
+                    group = (family, p.name.split(".", 1)[0])
+                    groups.setdefault(group, []).append((p, st.st_size))
+                    recency[group] = max(
+                        recency.get(group, 0.0), st.st_mtime
+                    )
+                    total += st.st_size
+        if self.max_bytes is None or total <= self.max_bytes:
+            return
+        victims = sorted(groups, key=lambda g: recency[g])
+        if protect in groups:
+            # Last in line: evicted only if everything else was not
+            # enough (an artifact bigger than the whole cap).
+            victims.remove(protect)
+            victims.append(protect)
+        evicted = 0
+        for group in victims:
+            if total <= self.max_bytes:
+                break
+            for path, size in groups[group]:
+                try:
+                    path.unlink()
+                    total -= size
+                except OSError:
+                    pass
+            evicted += 1
+        if evicted:
+            self._stats.evictions += evicted
+            obs.add("store.evictions", evicted)
+            _log.debug(
+                "evicted %d artifact group(s); store now ~%d bytes "
+                "(cap %d)", evicted, total, self.max_bytes,
+            )
 
     # -- generic get/put ------------------------------------------------
 
@@ -233,7 +344,10 @@ class DiskCache:
         events = self._path("traces", key, suffix=".events.npy")
         meta_path = self._path("traces", key, suffix=".meta.json")
         events.parent.mkdir(parents=True, exist_ok=True)
-        return TraceStreamWriter(events, meta_path, meta, total_events)
+        return TraceStreamWriter(
+            events, meta_path, meta, total_events,
+            on_commit=lambda: self._admit("traces", key),
+        )
 
     def _get_trace_sidecar(self, key: str, mmap: bool = True):
         from repro.gpu.isa import KernelTrace
@@ -276,6 +390,7 @@ class DiskCache:
             obs.add("store.trace_misses")
         else:
             self._stats.trace_hits += 1
+            self._touch("traces", key)
             obs.add("store.trace_hits")
             if obs.enabled():
                 obs.add("store.npz_bytes_read", self._artifact_bytes(
@@ -285,6 +400,7 @@ class DiskCache:
     def put_trace(self, key: str, trace) -> None:
         self._put_trace_npz(key, trace)
         self._put_trace_npy(key, trace)
+        self._admit("traces", key)
         obs.add("store.trace_puts")
         if obs.enabled():
             obs.add("store.npz_bytes_written", self._artifact_bytes(
@@ -309,6 +425,7 @@ class DiskCache:
             obs.add("store.result_misses")
         else:
             self._stats.result_hits += 1
+            self._touch("results", key)
             obs.add("store.result_hits")
             if obs.enabled():
                 obs.add("store.result_bytes_read", self._artifact_bytes(
@@ -317,6 +434,7 @@ class DiskCache:
 
     def put_result(self, key: str, result) -> None:
         self._put("results", key, result)
+        self._admit("results", key)
         obs.add("store.result_puts")
         if obs.enabled():
             obs.add("store.result_bytes_written", self._artifact_bytes(
@@ -428,13 +546,21 @@ class TraceStreamWriter:
     and leaves no artifact.
     """
 
-    def __init__(self, events_path, meta_path, meta: dict, total_events: int):
+    def __init__(
+        self,
+        events_path,
+        meta_path,
+        meta: dict,
+        total_events: int,
+        on_commit=None,
+    ):
         import numpy as np
 
         self._events_path = events_path
         self._meta_path = meta_path
         self._meta = dict(meta)
         self._total = int(total_events)
+        self._on_commit = on_commit
         self._written = 0
         fd, self._tmp = tempfile.mkstemp(
             dir=events_path.parent, suffix=".tmp"
@@ -485,6 +611,8 @@ class TraceStreamWriter:
             except OSError:
                 pass
             raise
+        if self._on_commit is not None:
+            self._on_commit()
         obs.add("store.trace_stream_puts")
 
     def abort(self) -> None:

@@ -1,0 +1,36 @@
+"""Duplo-as-a-service: a long-running what-if query server.
+
+The package turns the library into a design-space oracle: a stdlib
+HTTP server (``repro serve``) answers "(layer, LHB geometry,
+elimination mode) -> speedup / hit rate / energy" queries with the
+same engine tiering the CLI uses — analytic where covered, vectorised
+replay otherwise — and every response is bit-identical to the
+equivalent :func:`repro.runtime.executor.simulate_point` call.
+
+Layout
+------
+:mod:`repro.serve.schema`
+    Request validation and the canonical JSON result payload.
+:mod:`repro.serve.service`
+    :class:`QueryService` — coalescing, cache hygiene, metrics.
+:mod:`repro.serve.jobs`
+    Async job queue for cold sweeps (job IDs, progress polling).
+:mod:`repro.serve.http`
+    The ``ThreadingHTTPServer`` endpoints (``/query``, ``/sweep``,
+    ``/jobs/<id>``, ``/metrics``, ``/healthz``).
+"""
+
+from repro.serve.http import make_server, serve_forever
+from repro.serve.schema import Query, SchemaError, parse_query, result_payload
+from repro.serve.service import QueryService, ServiceConfig
+
+__all__ = [
+    "Query",
+    "QueryService",
+    "SchemaError",
+    "ServiceConfig",
+    "make_server",
+    "parse_query",
+    "result_payload",
+    "serve_forever",
+]

@@ -1,0 +1,144 @@
+"""HTTP endpoints over :class:`~repro.serve.service.QueryService`.
+
+Stdlib only: ``ThreadingHTTPServer`` gives one thread per connection,
+which matches the service's blocking coalescing model — followers of
+an in-flight simulation park their connection thread on the leader's
+slot and wake with the shared payload.
+
+Endpoints
+---------
+``POST /query``
+    One what-if query (JSON body, see :mod:`repro.serve.schema`).
+    Blocks until answered; 400 on validation errors.
+``POST /sweep``
+    ``{"queries": [...]}`` batch; returns ``{"job": id}`` immediately.
+``GET /jobs/<id>``
+    Job state/progress; includes ``results`` once ``state == "done"``.
+``GET /metrics``
+    ``serve.*`` counters + latency histogram, store stats, obs snapshot.
+``GET /healthz``
+    Liveness probe (``{"ok": true}``).
+
+Responses are always JSON.  Errors use ``{"error": message}`` with
+400 (validation), 404 (unknown route/job), or 500 (simulation
+failure) — the message is the exception text, which the schema layer
+keeps client-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional, Tuple
+
+from repro.serve.schema import SchemaError
+from repro.serve.service import QueryService
+
+log = logging.getLogger("repro.serve")
+
+#: Request bodies above this are rejected outright (64 MiB).
+MAX_BODY_BYTES = 64 * 2**20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the server's attached :class:`QueryService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        log.debug("%s %s", self.address_string(), fmt % args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise SchemaError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise SchemaError(f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise SchemaError(f"invalid JSON body: {exc}") from exc
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif path == "/metrics":
+            self._send_json(200, self.service.metrics())
+        elif path.startswith("/jobs/"):
+            status = self.service.jobs.status(path[len("/jobs/"):])
+            if status is None:
+                self._send_json(404, {"error": "no such job"})
+            else:
+                self._send_json(200, status)
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            if path == "/query":
+                self._send_json(200, self.service.query(self._read_json()))
+            elif path == "/sweep":
+                job_id = self.service.submit_sweep(self._read_json())
+                self._send_json(202, {"job": job_id})
+            else:
+                self._send_json(404, {"error": f"no such endpoint: {path}"})
+        except SchemaError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:
+            log.exception("request failed: %s %s", path, exc)
+            self._send_json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+
+class ServeServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[QueryService] = None,
+) -> ServeServer:
+    """Bind (``port=0`` = ephemeral, for tests) without serving yet."""
+    return ServeServer((host, port), service or QueryService())
+
+
+def serve_forever(server: ServeServer) -> None:
+    """Blocking serve loop; Ctrl-C shuts down cleanly."""
+    host, port = server.server_address[:2]
+    log.info("serving on http://%s:%s", host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.service.close()
+        server.server_close()
