@@ -27,9 +27,12 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.analysis import experiments
 from repro.analytic import prediction_rows
 from repro.conv.workloads import get_layer
-from repro.gpu.config import SimulationOptions
+from repro.gpu.config import ARCHS, SimulationOptions
 
 GOLDEN_LAYERS = [("resnet", "C2"), ("gan", "TC3"), ("yolo", "C2")]
+#: The arch-zoo fixtures add one attention GEMM so every preset pins
+#: both workload classes (conv + transformer).
+ARCH_GOLDEN_LAYERS = GOLDEN_LAYERS + [("attention", "QK")]
 GOLDEN_MAX_CTAS = 2
 OUT_DIR = os.path.join(os.path.dirname(__file__), "..", "tests", "goldens")
 
@@ -72,6 +75,29 @@ def main() -> int:
         )
         fh.write("\n")
     print(f"wrote {path} ({len(rows)} rows)")
+
+    # Per-architecture fixtures: one arch_<preset>.json per zoo entry,
+    # pinning that preset's duplo/wir rows (conv + attention layers)
+    # and its slice of the arch_zoo summary.
+    arch_layers = [get_layer(net, name) for net, name in ARCH_GOLDEN_LAYERS]
+    zoo = experiments.arch_zoo(arch_layers, options=options)
+    arch_config = {
+        "layers": ["/".join(p) for p in ARCH_GOLDEN_LAYERS],
+        "max_ctas": GOLDEN_MAX_CTAS,
+    }
+    for name in ARCHS:
+        payload = {
+            "config": dict(arch_config, arch=name),
+            "rows": [r for r in zoo.rows if r["arch"] == name],
+            "summary": {
+                k: v for k, v in zoo.summary.items() if k.endswith(f"_{name}")
+            },
+        }
+        path = os.path.join(OUT_DIR, f"arch_{name}.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({len(payload['rows'])} rows)")
     return 0
 
 

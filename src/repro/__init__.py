@@ -27,10 +27,12 @@ Quickstart::
 
 from repro.conv import (
     ALL_LAYERS,
+    ATTENTION_LAYERS,
     ConvLayerSpec,
     GAN_LAYERS,
     RESNET_LAYERS,
     TABLE_I,
+    WORKLOADS,
     YOLO_LAYERS,
     get_layer,
     layers_for_network,
@@ -44,7 +46,9 @@ __all__ = [
     "RESNET_LAYERS",
     "GAN_LAYERS",
     "YOLO_LAYERS",
+    "ATTENTION_LAYERS",
     "TABLE_I",
+    "WORKLOADS",
     "get_layer",
     "layers_for_network",
     "simulate_layer",

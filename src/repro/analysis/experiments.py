@@ -31,14 +31,20 @@ from repro.analysis.sweeps import (
 )
 from repro.conv.layer import ConvLayerSpec
 from repro.conv.methods import FIGURE_METHODS
-from repro.conv.workloads import ALL_LAYERS, TABLE_I
+from repro.conv.workloads import ALL_LAYERS, TABLE_I, get_layer
 from repro.energy.model import (
+    AreaModel,
     DEFAULT_AREA,
     DEFAULT_ENERGY,
     EnergyBreakdown,
     on_chip_energy_reduction,
 )
-from repro.gpu.config import BASELINE_KERNEL, KernelConfig, SimulationOptions
+from repro.gpu.config import (
+    ARCHS,
+    BASELINE_KERNEL,
+    KernelConfig,
+    SimulationOptions,
+)
 from repro.gpu.simulator import EliminationMode
 from repro.gpu.stats import geometric_mean
 from repro.runtime.executor import SimPoint, SweepExecutor
@@ -533,4 +539,84 @@ def energy_area(
         rows=rows,
         summary=summary,
         paper={"on_chip_energy_reduction": 0.341, "area_overhead": 0.0077},
+    )
+
+
+# ----------------------------------------------------------------------
+# Architecture zoo: Duplo across tensor-core generations
+# ----------------------------------------------------------------------
+
+def arch_zoo(
+    layers: Optional[Sequence[ConvLayerSpec]] = None,
+    lhb_entries: int = 1024,
+    options: SimulationOptions = SimulationOptions(),
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
+) -> Experiment:
+    """Duplo and WIR across every :data:`ARCHS` preset.
+
+    One row per (arch, layer, mode): improvement over that arch's own
+    baseline, LHB hit rate, elimination rate, plus the preset's
+    detection-unit area overhead (the WIR element-ID field widens as
+    fragments shrink below Volta's 32 bytes).  The default layer set
+    pairs two Table I convs with the two attention GEMMs so every
+    fragment geometry exercises both workload classes.
+    """
+    if layers is None:
+        layers = [
+            get_layer("resnet", "C2"),
+            get_layer("yolo", "C3"),
+            get_layer("attention", "QK"),
+            get_layer("attention", "PV"),
+        ]
+    else:
+        layers = list(layers)
+    executor = executor if executor is not None else SweepExecutor(jobs=jobs)
+    rows: List[Dict] = []
+    summary: Dict[str, float] = {}
+    for name, preset in ARCHS.items():
+        chunks = [
+            [
+                SimPoint(
+                    spec,
+                    mode,
+                    lhb_entries=lhb_entries,
+                    gpu=preset.gpu,
+                    kernel=preset.kernel,
+                    options=options,
+                )
+                for mode in (
+                    EliminationMode.BASELINE,
+                    EliminationMode.DUPLO,
+                    EliminationMode.WIR,
+                )
+            ]
+            for spec in layers
+        ]
+        outs = executor.run_chunks(chunks)
+        speedups: Dict[str, List[float]] = {"duplo": [], "wir": []}
+        for spec, (base, duplo, wir) in zip(layers, outs):
+            for label, result in (("duplo", duplo), ("wir", wir)):
+                speedup = result.speedup_over(base)
+                speedups[label].append(speedup)
+                rows.append(
+                    {
+                        "arch": name,
+                        "layer": spec.qualified_name,
+                        "mode": label,
+                        "improvement": speedup - 1,
+                        "hit_rate": result.stats.lhb_hit_rate,
+                        "eliminated": result.stats.elimination_rate,
+                    }
+                )
+        for label, values in speedups.items():
+            summary[f"gmean_{label}_{name}"] = geometric_mean(values) - 1
+        summary[f"area_overhead_{name}"] = AreaModel.for_arch(
+            preset.gpu
+        ).area_overhead(lhb_entries)
+    return Experiment(
+        name="arch_zoo",
+        description="Duplo/WIR improvement across tensor-core generations",
+        rows=rows,
+        summary=summary,
     )

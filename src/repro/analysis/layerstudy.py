@@ -15,7 +15,13 @@ from repro.analysis.duplication import DuplicationCensus, duplication_census
 from repro.analysis.roofline import RooflinePoint, roofline_point
 from repro.conv.layer import ConvLayerSpec
 from repro.energy.model import DEFAULT_ENERGY, on_chip_energy_reduction
-from repro.gpu.config import SimulationOptions
+from repro.gpu.config import (
+    BASELINE_KERNEL,
+    GPUConfig,
+    KernelConfig,
+    SimulationOptions,
+    TITAN_V,
+)
 from repro.gpu.simulator import EliminationMode, LayerResult, simulate_layer
 
 
@@ -80,18 +86,26 @@ def study_layer(
     spec: ConvLayerSpec,
     lhb_entries: Optional[int] = 1024,
     options: SimulationOptions = SimulationOptions(),
+    gpu: GPUConfig = TITAN_V,
+    kernel: KernelConfig = BASELINE_KERNEL,
 ) -> LayerDossier:
     """Build the dossier for one layer.
 
     The census runs on the single-image variant (duplication is
     batch-invariant; see ``tests/test_duplication.py``) to keep the
-    exact enumeration cheap.
+    exact enumeration cheap.  ``gpu``/``kernel`` select the machine
+    model (pass an :data:`repro.gpu.config.ARCHS` preset's pair for a
+    non-Volta dossier); the census and roofline stay geometry-level.
     """
     census = duplication_census(spec.with_batch(1))
     point = roofline_point(spec)
-    baseline = simulate_layer(spec, EliminationMode.BASELINE, options=options)
+    baseline = simulate_layer(
+        spec, EliminationMode.BASELINE, gpu=gpu, kernel=kernel,
+        options=options,
+    )
     duplo = simulate_layer(
-        spec, EliminationMode.DUPLO, lhb_entries=lhb_entries, options=options
+        spec, EliminationMode.DUPLO, lhb_entries=lhb_entries, gpu=gpu,
+        kernel=kernel, options=options,
     )
     energy = on_chip_energy_reduction(
         DEFAULT_ENERGY.breakdown(baseline.stats),

@@ -39,7 +39,6 @@ from typing import Optional
 import numpy as np
 
 from repro.core.lhb import LoadHistoryBuffer
-from repro.gpu.isa import EVENT_BYTES, STORE_D
 from repro.gpu.ldst import EliminationMode
 from repro.gpu.stats import LayerStats, MemoryBreakdown
 
@@ -152,7 +151,7 @@ def predict_stats(
         l2_accesses=l2_accesses,
         l2_hits=l2_hits,
         dram_read_bytes=dram_served * line_bytes,
-        dram_write_bytes=c.stores * EVENT_BYTES[STORE_D],
+        dram_write_bytes=c.stores * profile.gpu.store_frag_bytes,
         mma_ops=c.mma_ops,
         breakdown=MemoryBreakdown(
             lhb=eliminated,

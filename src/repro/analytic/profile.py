@@ -152,7 +152,10 @@ def _build_load_stream(
             la, lb = len(wp.a_base), len(wp.b_base)
             if la + lb == 0:
                 continue
-            steps = np.arange(turn.k_start, turn.k_end, dtype=np.int64) * 32
+            steps = (
+                np.arange(turn.k_start, turn.k_end, dtype=np.int64)
+                * gpu.frag_bytes
+            )
             burst = np.concatenate([wp.a_base, wp.b_base])
             addr_chunks.append((steps[:, None] + burst[None, :]).ravel())
             mask = np.zeros(la + lb, dtype=bool)
@@ -212,7 +215,7 @@ class LayerProfile:
         ).astype(np.uint8)
 
         consults, batch, element = load_ids_for(
-            spec, options, mode, load_kind, load_addr, geom.lda
+            spec, options, mode, load_kind, load_addr, geom.lda, gpu
         )
         self._consult_idx = np.nonzero(consults)[0]
         self._element = element[self._consult_idx]
@@ -234,7 +237,7 @@ class LayerProfile:
         # mode at fragment granularity (it always runs over A loads).
         a_ok, a_batch, a_element = load_ids_for(
             spec, options, EliminationMode.DUPLO, load_kind, load_addr,
-            geom.lda,
+            geom.lda, gpu,
         )
         a_idx = np.nonzero(is_a)[0]
         ok_a = a_ok[a_idx]

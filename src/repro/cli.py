@@ -8,7 +8,8 @@ Commands
     Simulate one layer (baseline vs. Duplo) and print the comparison.
 ``experiment NAME``
     Regenerate one paper figure/table (``figure2`` .. ``figure14``,
-    ``table2``, ``multikernel``, ``energy_area``).  ``--jobs N`` fans
+    ``table2``, ``multikernel``, ``energy_area``, ``arch_zoo``).
+    ``--jobs N`` fans
     the sweep across N workers (``--backend`` picks threads,
     processes, or multi-host shared-store coordination; ``--cutover``
     tunes the adaptive inline/pool decision); artifacts persist under
@@ -34,8 +35,8 @@ from typing import List, Optional
 from repro import obs
 from repro.analysis import experiments as exp_mod
 from repro.analysis.report import format_experiment, format_table
-from repro.conv.workloads import ALL_LAYERS, get_layer
-from repro.gpu.config import SimulationOptions
+from repro.conv.workloads import WORKLOADS, get_layer, networks
+from repro.gpu.config import SimulationOptions, arch_names, get_arch
 from repro.gpu.simulator import EliminationMode, simulate_layer
 
 EXPERIMENTS = {
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "table2": lambda a, ex: exp_mod.table2(),
     "multikernel": lambda a, ex: exp_mod.multikernel_sharing(options=a),
     "energy_area": lambda a, ex: exp_mod.energy_area(options=a, executor=ex),
+    "arch_zoo": lambda a, ex: exp_mod.arch_zoo(options=a, executor=ex),
 }
 
 
@@ -88,6 +90,15 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_arch_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--arch", choices=list(arch_names()), default=None,
+        help="architecture preset: selects the GPU model and its "
+        "matching kernel tiling (default volta, overridable via "
+        "$REPRO_ARCH)",
+    )
 
 
 def _add_fast_path_flag(parser: argparse.ArgumentParser) -> None:
@@ -175,7 +186,8 @@ def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_layers(args: argparse.Namespace) -> int:
     rows = []
-    for spec in ALL_LAYERS:
+    specs = [s for layers in WORKLOADS.values() for s in layers]
+    for spec in specs:
         g = spec.gemm_shape
         rows.append(
             {
@@ -197,17 +209,22 @@ def _cmd_layers(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     spec = get_layer(args.network, args.layer)
     options = _options(args)
+    preset = get_arch(args.arch)
     base = simulate_layer(
-        spec, EliminationMode.BASELINE, options=options
+        spec, EliminationMode.BASELINE, gpu=preset.gpu,
+        kernel=preset.kernel, options=options,
     )
     duplo = simulate_layer(
         spec,
         EliminationMode.DUPLO,
         lhb_entries=None if args.lhb == 0 else args.lhb,
         lhb_assoc=args.assoc,
+        gpu=preset.gpu,
+        kernel=preset.kernel,
         options=options,
     )
     rows = []
+    print(f"arch: {preset.name} ({preset.description})")
     for label, r in [("baseline", base), ("duplo", duplo)]:
         rows.append(
             {
@@ -251,7 +268,11 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
     spec = get_layer(args.network, args.layer)
     options = _options(args)
-    dossier = study_layer(spec, lhb_entries=args.lhb or None, options=options)
+    preset = get_arch(args.arch)
+    dossier = study_layer(
+        spec, lhb_entries=args.lhb or None, options=options,
+        gpu=preset.gpu, kernel=preset.kernel,
+    )
     print(spec)
     for key, value in dossier.summary().items():
         if isinstance(value, float) and abs(value) < 10:
@@ -275,14 +296,17 @@ def _cmd_network(args: argparse.Namespace) -> int:
         )
         return 2
     options = _options(args)
+    preset = get_arch(args.arch)
     rows = []
     speedups = []
     for spec in net.conv_specs():
         base = simulate_layer(
-            spec, EliminationMode.BASELINE, options=options
+            spec, EliminationMode.BASELINE, gpu=preset.gpu,
+            kernel=preset.kernel, options=options,
         )
         duplo = simulate_layer(
-            spec, lhb_entries=args.lhb or None, options=options
+            spec, lhb_entries=args.lhb or None, gpu=preset.gpu,
+            kernel=preset.kernel, options=options,
         )
         speedups.append(duplo.speedup_over(base))
         rows.append(
@@ -360,16 +384,18 @@ def build_parser() -> argparse.ArgumentParser:
     layers = sub.add_parser("layers", help="print Table I with GEMM geometry")
 
     sim = sub.add_parser("simulate", help="simulate one layer")
-    sim.add_argument("network", choices=["resnet", "gan", "yolo"])
-    sim.add_argument("layer", help="layer name, e.g. C2 or TC1")
+    sim.add_argument("network", choices=list(networks()))
+    sim.add_argument("layer", help="layer name, e.g. C2, TC1 or QK")
     sim.add_argument("--lhb", type=int, default=1024,
                      help="LHB entries (0 = oracle)")
     sim.add_argument("--assoc", type=int, default=1)
     sim.add_argument("--max-ctas", type=int, default=None)
+    _add_arch_flag(sim)
     _add_fast_path_flag(sim)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure")
-    exp.add_argument("name", help="figure2..figure14, table2, energy_area")
+    exp.add_argument("name", help="figure2..figure14, table2, energy_area, "
+                     "arch_zoo")
     exp.add_argument("--max-ctas", type=int, default=4)
     exp.add_argument("--max-rows", type=int, default=30)
     exp.add_argument("--chart", action="store_true",
@@ -392,10 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     ins = sub.add_parser("inspect", help="full dossier for one layer")
-    ins.add_argument("network", choices=["resnet", "gan", "yolo"])
+    ins.add_argument("network", choices=list(networks()))
     ins.add_argument("layer")
     ins.add_argument("--lhb", type=int, default=1024)
     ins.add_argument("--max-ctas", type=int, default=3)
+    _add_arch_flag(ins)
     _add_fast_path_flag(ins)
 
     net = sub.add_parser(
@@ -406,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--lhb", type=int, default=1024,
                      help="LHB entries (0 = oracle)")
     net.add_argument("--max-ctas", type=int, default=2)
+    _add_arch_flag(net)
     _add_fast_path_flag(net)
 
     srv = sub.add_parser(

@@ -9,12 +9,18 @@ compares (direct, GEMM, Winograd, FFT).
 """
 
 from repro.conv.layer import ConvLayerSpec, OutputShape, GemmShape
+from repro.conv.attention import (
+    ATTENTION_LAYERS,
+    attention_layers,
+    gemm_layer,
+)
 from repro.conv.workloads import (
     RESNET_LAYERS,
     GAN_LAYERS,
     YOLO_LAYERS,
     ALL_LAYERS,
     TABLE_I,
+    WORKLOADS,
     get_layer,
     layers_for_network,
     networks,
@@ -36,6 +42,10 @@ __all__ = [
     "YOLO_LAYERS",
     "ALL_LAYERS",
     "TABLE_I",
+    "WORKLOADS",
+    "ATTENTION_LAYERS",
+    "attention_layers",
+    "gemm_layer",
     "get_layer",
     "layers_for_network",
     "networks",

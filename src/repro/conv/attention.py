@@ -1,0 +1,122 @@
+"""Transformer attention GEMMs as native workload layers.
+
+The Duplo pipeline lowers every layer to a GEMM before anything else
+happens (im2col workspace x filter matrix), so a transformer attention
+block — whose operators *are* GEMMs — slots in without any lowering at
+all: an ``M x N x K`` GEMM is exactly a 1x1 convolution with unit
+stride and zero padding over an ``1 x M`` "image" of ``K`` channels
+with ``N`` filters.  :func:`gemm_layer` builds that identity
+embedding, and :func:`attention_layers` uses it to emit the four
+GEMMs of one multi-head self-attention block:
+
+``QKV``
+    The fused input projection: per sequence, ``seq x 3*d_model x
+    d_model`` (Q, K and V projected in one GEMM, the cuBLAS batching
+    convention).
+``QK``
+    The score GEMM ``Q K^T``: per (sequence, head), ``seq x seq x
+    head_dim``.  Head and batch fold into the GEMM M dimension the
+    same way image batch folds into conv output rows.
+``PV``
+    The context GEMM ``softmax(scores) V``: per (sequence, head),
+    ``seq x head_dim x seq``.
+``OUT``
+    The output projection: ``seq x d_model x d_model``.
+
+Because the embedding is the identity (1x1 filter, stride 1, pad 0,
+filter volume == in_channels == K), the im2col workspace *is* the
+activation matrix — ``duplication_factor == 1.0`` — and the layers
+flow through :func:`repro.gpu.kernel.plan_sm_trace` and the vectorised
+fast path natively: no fallback, no special cases downstream.  What
+Duplo can still eliminate here is the redundancy the *kernel* creates
+(octet dual-loads and cross-k reuse), which is precisely the paper's
+Section II-B claim transplanted to transformer shapes.
+
+Defaults are BERT-base-ish (``seq=128``, ``d_model=768``, 12 heads of
+64) at the Table I batch size of 8.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.conv.layer import ConvLayerSpec
+
+#: Default attention geometry: BERT-base (12 heads x 64 = 768).
+DEFAULT_SEQ = 128
+DEFAULT_D_MODEL = 768
+DEFAULT_HEADS = 12
+
+#: Table I batch size, mirrored from ``repro.conv.workloads`` (which
+#: imports this module, so the constant lives here to avoid a cycle).
+DEFAULT_BATCH = 8
+
+
+def gemm_layer(
+    name: str,
+    batch: int,
+    m: int,
+    n: int,
+    k: int,
+    network: str = "attention",
+) -> ConvLayerSpec:
+    """Embed a batched ``M x N x K`` GEMM as a native workload layer.
+
+    The returned spec is the identity 1x1 convolution: a ``1 x m``
+    input of ``k`` channels convolved with ``n`` 1x1 filters, so
+    ``gemm_shape == (batch * m, n, k)`` and the im2col workspace is
+    the activation matrix itself (``duplication_factor == 1.0``).
+    ``batch`` rides the conv batch axis, extending GEMM M exactly like
+    a batched GEMM's flattened batch dimension.
+    """
+    if min(batch, m, n, k) < 1:
+        raise ValueError(
+            f"{network}/{name}: GEMM dims must be >= 1, got "
+            f"batch={batch} m={m} n={n} k={k}"
+        )
+    return ConvLayerSpec(
+        name=name,
+        network=network,
+        batch=batch,
+        in_height=1,
+        in_width=m,
+        in_channels=k,
+        num_filters=n,
+        filter_height=1,
+        filter_width=1,
+        pad=0,
+        stride=1,
+    )
+
+
+def attention_layers(
+    batch: int = DEFAULT_BATCH,
+    seq: int = DEFAULT_SEQ,
+    d_model: int = DEFAULT_D_MODEL,
+    heads: int = DEFAULT_HEADS,
+) -> List[ConvLayerSpec]:
+    """The four GEMMs of one multi-head self-attention block.
+
+    ``d_model`` must split evenly across ``heads``; the per-head width
+    becomes the K of the score GEMM and the N of the context GEMM.
+    """
+    if d_model % heads:
+        raise ValueError(
+            f"d_model={d_model} must be divisible by heads={heads}"
+        )
+    head_dim = d_model // heads
+    return [
+        # Fused Q/K/V input projection: one GEMM per sequence.
+        gemm_layer("QKV", batch, seq, 3 * d_model, d_model),
+        # Scores Q K^T: one GEMM per (sequence, head).
+        gemm_layer("QK", batch * heads, seq, seq, head_dim),
+        # Context softmax(scores) V: one GEMM per (sequence, head).
+        gemm_layer("PV", batch * heads, seq, head_dim, seq),
+        # Output projection back to d_model.
+        gemm_layer("OUT", batch, seq, d_model, d_model),
+    ]
+
+
+#: The default attention block, registered as the "attention" network
+#: in :data:`repro.conv.workloads.WORKLOADS`.
+ATTENTION_LAYERS: List[ConvLayerSpec] = attention_layers()

@@ -1,22 +1,31 @@
-"""Table I of the Duplo paper: the ResNet / GAN / YOLO layer set.
+"""Workload registry: Table I's conv networks plus transformer GEMMs.
 
-Every figure in the paper's evaluation iterates over these 18
-convolutional layers (8 ResNet, 4 transposed + 4 forward GAN, 6 YOLO)
-at batch size 8.  The specs here transcribe Table I verbatim; layer
-outputs are *not* forced to chain (the paper tabulates representative
-shapes, e.g. ResNet C3's stride-2/pad-0 output does not exactly equal
-C4's input — pooling and the tabulation's rounding sit in between).
+Every figure in the paper's evaluation iterates over the 18
+convolutional layers of Table I (8 ResNet, 4 transposed + 4 forward
+GAN, 6 YOLO) at batch size 8.  The specs here transcribe Table I
+verbatim; layer outputs are *not* forced to chain (the paper tabulates
+representative shapes, e.g. ResNet C3's stride-2/pad-0 output does not
+exactly equal C4's input — pooling and the tabulation's rounding sit
+in between).
 
 DCGAN's generator layers (TC1..TC4) are transposed convolutions with
 ``output_padding=1`` so each upsampling exactly doubles the spatial
 size, matching the successive input shapes in the table (4 -> 8 -> 16
 -> 32 -> 64).
+
+:data:`WORKLOADS` is the full registry the lookup helpers (and the
+serve/CLI layers above them) resolve against; it extends
+:data:`TABLE_I` with the ``"attention"`` transformer block of
+:mod:`repro.conv.attention`.  :data:`TABLE_I` itself stays exactly the
+paper's table — figure-reproduction harnesses that iterate it are
+unaffected by registry growth.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.conv.attention import ATTENTION_LAYERS
 from repro.conv.layer import ConvLayerSpec
 
 #: Batch size used throughout the paper's evaluation (Figures 2-12, 14).
@@ -93,29 +102,36 @@ YOLO_LAYERS: List[ConvLayerSpec] = [
 #: All Table I layers in the order the paper's figures plot them.
 ALL_LAYERS: List[ConvLayerSpec] = RESNET_LAYERS + GAN_LAYERS + YOLO_LAYERS
 
-#: Table I keyed by network name.
+#: Table I keyed by network name (the paper's evaluation set, verbatim).
 TABLE_I: Dict[str, List[ConvLayerSpec]] = {
     "resnet": RESNET_LAYERS,
     "gan": GAN_LAYERS,
     "yolo": YOLO_LAYERS,
 }
 
+#: Every simulatable workload: Table I plus the transformer attention
+#: GEMM block (QKV / QK / PV / OUT, BERT-base shapes at batch 8).
+WORKLOADS: Dict[str, List[ConvLayerSpec]] = {
+    **TABLE_I,
+    "attention": ATTENTION_LAYERS,
+}
+
 
 def networks() -> Sequence[str]:
-    """Network names in figure order."""
-    return tuple(TABLE_I.keys())
+    """Registered network names, Table I first in figure order."""
+    return tuple(WORKLOADS.keys())
 
 
 def layers_for_network(network: str) -> List[ConvLayerSpec]:
-    """All Table I layers of one network.
+    """All layers of one registered network.
 
     Raises ``KeyError`` with the valid choices for an unknown network.
     """
     try:
-        return list(TABLE_I[network])
+        return list(WORKLOADS[network])
     except KeyError:
         raise KeyError(
-            f"unknown network {network!r}; choose from {sorted(TABLE_I)}"
+            f"unknown network {network!r}; choose from {sorted(WORKLOADS)}"
         ) from None
 
 
@@ -124,5 +140,5 @@ def get_layer(network: str, name: str) -> ConvLayerSpec:
     for layer in layers_for_network(network):
         if layer.name == name:
             return layer
-    valid = [layer.name for layer in TABLE_I[network]]
+    valid = [layer.name for layer in WORKLOADS[network]]
     raise KeyError(f"no layer {name!r} in {network}; choose from {valid}")

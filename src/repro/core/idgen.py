@@ -176,6 +176,7 @@ class IDGenerator:
         element_bytes: int = 2,
         mode: IDMode = IDMode.CANONICAL,
         merge_padding: bool = False,
+        row_align: int = 16,
     ):
         eff = spec.effective_spec()
         rows, cols = workspace_shape(spec)
@@ -190,8 +191,9 @@ class IDGenerator:
         self.merge_padding = merge_padding
         self.logical_rows = rows
         self.logical_cols = cols
-        # The workspace region spans the padded allocation.
-        rows_padded = -(-rows // 16) * 16
+        # The workspace region spans the padded allocation; the kernel
+        # pads M to the architecture's ``tile_m`` (``row_align``).
+        rows_padded = -(-rows // row_align) * row_align
         self.workspace_end = workspace_base + rows_padded * lda * element_bytes
 
     def contains(self, address: int) -> bool:

@@ -136,6 +136,20 @@ class AreaModel:
     #: ID generator + control overhead on top of the raw LHB array.
     idgen_area_equiv_bits: int = 2048
 
+    @classmethod
+    def for_arch(cls, gpu: GPUConfig) -> "AreaModel":
+        """Area model sized for one architecture preset.
+
+        WIR element IDs are fragment-aligned address shifts
+        (``addr >> frag_shift``), so halving the fragment below
+        Volta's 32 bytes widens the element-ID space by one bit per
+        halving; wider fragments never shrink it below the canonical
+        32-bit field.  The register-file denominator comes from the
+        preset's own ``regfile_bytes_per_sm``.
+        """
+        element_bits = 32 + max(0, 5 - gpu.frag_shift)
+        return cls(gpu=gpu, element_id_bits=element_bits)
+
     def tag_bits(self, entries: int = 1024, assoc: int = 1) -> int:
         """Stored tag width for a given LHB organisation.
 

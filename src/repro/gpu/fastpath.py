@@ -69,7 +69,6 @@ from repro.core.lhb import LoadHistoryBuffer, vector_set_indices
 from repro.gpu.cache import SetAssociativeCache
 from repro.gpu.config import GPUConfig, SimulationOptions, TITAN_V
 from repro.gpu.isa import (
-    EVENT_BYTES,
     KernelTrace,
     LOAD_A,
     LOAD_A_SHARED,
@@ -771,8 +770,10 @@ class _StreamAccumulator:
                 spec=spec,
                 workspace_base=info.workspace_base,
                 lda=info.lda,
+                element_bytes=gpu.element_bytes,
                 mode=options.id_mode,
                 merge_padding=options.merge_padding,
+                row_align=gpu.tile_m,
             )
 
         self.events = 0
@@ -811,7 +812,7 @@ class _StreamAccumulator:
 
         consults, batch, element = load_ids_for(
             self.spec, self.options, self.mode, load_kind, load_addr,
-            self.lda,
+            self.lda, self._gpu,
         )
         is_shared = (load_kind == LOAD_A_SHARED) | (load_kind == LOAD_B_SHARED)
         self._shared.append(is_shared)
@@ -934,7 +935,7 @@ class _StreamAccumulator:
             l2_accesses=l2_accesses,
             l2_hits=l2_hits,
             dram_read_bytes=dram_read_bytes,
-            dram_write_bytes=self._stores * EVENT_BYTES[STORE_D],
+            dram_write_bytes=self._stores * self._gpu.store_frag_bytes,
             mma_ops=mma_ops,
             breakdown=MemoryBreakdown(
                 lhb=served_lhb,

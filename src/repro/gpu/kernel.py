@@ -9,18 +9,21 @@ accumulator in shared memory, three CTAs per SM):
   (the representative-SM sampling of DESIGN.md);
 * each CTA runs ``warps_per_cta`` warps in an (m x n) grid, each
   owning a ``warp_tile_m x warp_tile_n`` output patch;
-* per 16-deep k-step, a warp issues tensor-core loads for its A
-  (workspace) and B (filter) fragments.  One event is one 16-half
-  fragment (32 bytes); the *octet duplication* of Section II-B makes
-  every fragment appear twice back-to-back;
+* per ``tile_k``-deep k-step, a warp issues tensor-core loads for its
+  A (workspace) and B (filter) fragments.  One event is one
+  ``tile_k``-element fragment (``GPUConfig.frag_bytes`` — 32 bytes on
+  Volta's 16x16x16 fp16 shape; narrower on the Turing/Ampere/Hopper
+  presets); the *octet duplication* of Section II-B makes every
+  fragment appear twice back-to-back;
 * warps are interleaved greedily-then-oldest (one k-step burst per
   warp per round, oldest CTA first), which is how the loads of
   different warps interleave in front of the LHB;
 * after the k-loop each warp stores its fp32 D tiles.
 
 Matrix A (the lowered workspace) is row-major with leading dimension
-``lda`` (K padded to 16); matrix B is column-major (filters) so a
-tensor-core "column of B" fragment is contiguous; D is row-major fp32.
+``lda`` (K padded to ``tile_k``); matrix B is column-major (filters) so
+a tensor-core "column of B" fragment is contiguous; D is row-major at
+the accumulator width.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.gpu.config import (
     KernelConfig,
     SimulationOptions,
     TITAN_V,
+    validate_arch,
 )
 from repro.gpu.isa import (
     FILTER_BASE,
@@ -79,7 +83,11 @@ def _align(x: int, a: int) -> int:
 
 @dataclass(frozen=True)
 class GemmGeometry:
-    """Padded GEMM dimensions and allocation pitches for one layer."""
+    """Padded GEMM dimensions and allocation pitches for one layer.
+
+    Padding follows the architecture's fragment tile: M to ``tile_m``,
+    N to ``tile_n``, K to ``tile_k`` (square 16 on the Volta default).
+    """
 
     m: int
     n: int
@@ -90,13 +98,16 @@ class GemmGeometry:
     lda: int  # A row pitch (elements)
     ldb: int  # B column pitch (elements, column-major)
     ldd: int  # D row pitch (elements)
+    tile_k: int = 16  # k-depth of one MMA step
 
     @property
     def k_steps(self) -> int:
-        return self.k_pad // 16
+        return self.k_pad // self.tile_k
 
 
-def gemm_geometry(spec: ConvLayerSpec, tile: int = 16) -> GemmGeometry:
+def gemm_geometry(
+    spec: ConvLayerSpec, gpu: GPUConfig = TITAN_V
+) -> GemmGeometry:
     """Compute padded dimensions the kernel allocates for ``spec``."""
     rows, cols = workspace_shape(spec)
     g = spec.gemm_shape
@@ -105,12 +116,13 @@ def gemm_geometry(spec: ConvLayerSpec, tile: int = 16) -> GemmGeometry:
         m=g.m,
         n=g.n,
         k=g.k,
-        m_pad=_align(g.m, tile),
-        n_pad=_align(g.n, tile),
-        k_pad=_align(g.k, tile),
-        lda=_align(g.k, tile),
-        ldb=_align(g.k, tile),
-        ldd=_align(g.n, tile),
+        m_pad=_align(g.m, gpu.tile_m),
+        n_pad=_align(g.n, gpu.tile_n),
+        k_pad=_align(g.k, gpu.tile_k),
+        lda=_align(g.k, gpu.tile_k),
+        ldb=_align(g.k, gpu.tile_k),
+        ldd=_align(g.n, gpu.tile_n),
+        tile_k=gpu.tile_k,
     )
 
 
@@ -118,12 +130,12 @@ def gemm_geometry(spec: ConvLayerSpec, tile: int = 16) -> GemmGeometry:
 class _WarpPlan:
     """Precomputed per-(CTA, warp) fragment address templates.
 
-    A-fragment addresses at k-step t are ``a_base + 32 * t`` and
-    B-fragment addresses ``b_base + 32 * t`` (one k-step advances 16
-    fp16 elements = 32 bytes along both pitches).  ``a_group`` /
-    ``b_group`` assign each fragment to its warp-level instruction
-    (one per 16x16 tile per octet copy); emission offsets them by a
-    running global instruction counter.
+    A-fragment addresses at k-step t are ``a_base + frag_bytes * t``
+    and B-fragment addresses ``b_base + frag_bytes * t`` (one k-step
+    advances ``tile_k`` elements along both pitches — 32 bytes on
+    Volta).  ``a_group`` / ``b_group`` assign each fragment to its
+    warp-level instruction (one per MMA tile per octet copy); emission
+    offsets them by a running global instruction counter.
     """
 
     a_base: np.ndarray
@@ -143,25 +155,37 @@ class _CtaTemplates:
     guard (bases ``m0 + i*tile < limit`` form a prefix, since bases are
     increasing), so every per-warp array is an affine shift of a
     pattern keyed only by that count: fragment addresses shift by
-    ``origin * pitch``, store addresses by ``(m0 * ldd + n0) * 4``, and
-    the instruction groups are position-independent.  That collapses
-    planning to one scalar-add per array instead of rebuilding
-    arange/repeat products for every (CTA, warp).
+    ``origin * pitch``, store addresses by
+    ``(m0 * ldd + n0) * acc_bytes``, and the instruction groups are
+    position-independent.  That collapses planning to one scalar-add
+    per array instead of rebuilding arange/repeat products for every
+    (CTA, warp).
+
+    The two operand sides decompose differently on non-square
+    architectures: an A tile spans ``tile_m`` workspace rows (one
+    fragment per row), a B tile ``tile_n`` filter columns (one fragment
+    per column), so :meth:`fragments` takes the per-side tile edge.
     """
 
-    def __init__(self, geom: GemmGeometry, tile: int) -> None:
+    def __init__(self, geom: GemmGeometry, gpu: GPUConfig) -> None:
         self._geom = geom
-        self._tile = tile
-        self._frag: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self._gpu = gpu
+        self._frag: Dict[
+            Tuple[int, int, int], Tuple[np.ndarray, np.ndarray]
+        ] = {}
         self._store: Dict[Tuple[int, int], np.ndarray] = {}
 
     def fragments(
-        self, origin: int, tiles: int, limit: int, pitch: int
+        self, origin: int, tiles: int, limit: int, pitch: int, tile: int
     ) -> Tuple[np.ndarray, np.ndarray, int, int]:
-        """``(addresses - base, groups, instrs, valid_tiles)`` for one side."""
-        tile = self._tile
+        """``(addresses - base, groups, instrs, valid_tiles)`` for one side.
+
+        ``tile`` is the side's fragment-tile edge (``tile_m`` for A,
+        ``tile_n`` for B): both the per-tile stride along the operand
+        extent and the number of fragments per tile.
+        """
         valid = max(0, min(tiles, -(-(limit - origin) // tile)))
-        key = (valid, pitch)
+        key = (valid, pitch, tile)
         cached = self._frag.get(key)
         if cached is None:
             rows = (
@@ -178,36 +202,46 @@ class _CtaTemplates:
         return origin * pitch + rel_addr, groups, 2 * valid, valid
 
     def stores(self, m0: int, n0: int, ta: int, tb: int) -> np.ndarray:
-        """Store addresses for ``ta`` row-tiles x ``tb`` col-tiles."""
+        """Store addresses for ``ta`` row-tiles x ``tb`` col-tiles.
+
+        One event per accumulator row: ``tile_m`` rows per tile, each
+        ``tile_n`` accumulators wide (``GPUConfig.store_frag_bytes``).
+        """
         key = (ta, tb)
         rel = self._store.get(key)
         if rel is None:
-            tile = self._tile
-            rows16 = (
-                tile * np.arange(ta, dtype=np.int64)[:, None]
-                + np.arange(tile, dtype=np.int64)
+            tile_m, tile_n = self._gpu.tile_m, self._gpu.tile_n
+            acc = self._gpu.acc_bytes
+            rows = (
+                tile_m * np.arange(ta, dtype=np.int64)[:, None]
+                + np.arange(tile_m, dtype=np.int64)
             )
-            cols = tile * np.arange(tb, dtype=np.int64)
+            cols = tile_n * np.arange(tb, dtype=np.int64)
             rel = (
-                (rows16[:, None, :] * self._geom.ldd + cols[None, :, None])
-                * 4
+                (rows[:, None, :] * self._geom.ldd + cols[None, :, None])
+                * acc
             ).reshape(-1)
             self._store[key] = rel
-        return OUTPUT_BASE + (m0 * self._geom.ldd + n0) * 4 + rel
+        return (
+            OUTPUT_BASE
+            + (m0 * self._geom.ldd + n0) * self._gpu.acc_bytes
+            + rel
+        )
 
 
 def _plan_cta(
     geom: GemmGeometry,
     kernel: KernelConfig,
+    gpu: GPUConfig,
     cta_m: int,
     cta_n: int,
     templates: Optional[_CtaTemplates] = None,
 ) -> List[_WarpPlan]:
     """Build per-warp address templates for the CTA at block (m, n)."""
-    tile = kernel.tile
     warps_n = kernel.cta_tile_n // kernel.warp_tile_n
+    elem = gpu.element_bytes
     if templates is None:
-        templates = _CtaTemplates(geom, tile)
+        templates = _CtaTemplates(geom, gpu)
     plans = []
     for w in range(kernel.warps_per_cta):
         wm, wn = divmod(w, warps_n)
@@ -215,10 +249,12 @@ def _plan_cta(
         n0 = cta_n * kernel.cta_tile_n + wn * kernel.warp_tile_n
 
         a_rel, a_group, a_instrs, ta = templates.fragments(
-            m0, kernel.warp_tiles_m, geom.m, geom.lda * 2
+            m0, kernel.warp_tile_m // gpu.tile_m, geom.m,
+            geom.lda * elem, gpu.tile_m,
         )
         b_rel, b_group, b_instrs, tb = templates.fragments(
-            n0, kernel.warp_tiles_n, geom.n, geom.ldb * 2
+            n0, kernel.warp_tile_n // gpu.tile_n, geom.n,
+            geom.ldb * elem, gpu.tile_n,
         )
         plans.append(
             _WarpPlan(
@@ -308,13 +344,14 @@ def _stage_input_fragments(
     geom: GemmGeometry,
     row_range: Tuple[int, int],
     col_range: Tuple[int, int],
+    gpu: GPUConfig = TITAN_V,
 ) -> np.ndarray:
     """Global input fetches staging one implicit-GEMM shared chunk.
 
     The chunk covers workspace rows ``row_range`` x columns
-    ``col_range``; the cooperative copy fetches each *unique* 32-byte
-    block of the unexpanded NHWC input exactly once (padding positions
-    are materialised as zeros without any fetch).
+    ``col_range``; the cooperative copy fetches each *unique*
+    fragment-sized block of the unexpanded NHWC input exactly once
+    (padding positions are materialised as zeros without any fetch).
     """
     eff = spec.effective_spec()
     r0, r1 = row_range
@@ -338,8 +375,9 @@ def _stage_input_fragments(
         ((batch * eff.in_height + iy) * eff.in_width + ix) * eff.in_channels
         + ch
     )
-    blocks = np.unique(flat[interior] * 2 // 32)
-    return INPUT_BASE + blocks * 32
+    frag = gpu.frag_bytes
+    blocks = np.unique(flat[interior] * gpu.element_bytes // frag)
+    return INPUT_BASE + blocks * frag
 
 
 def _generate_sm_trace_loop(
@@ -355,7 +393,8 @@ def _generate_sm_trace_loop(
     suite asserts :func:`generate_sm_trace` reproduces this trace
     bit-identically for every configuration.
     """
-    geom = gemm_geometry(spec, kernel.tile)
+    validate_arch(gpu, kernel)
+    geom = gemm_geometry(spec, gpu)
     blocks, total_ctas = sm_cta_blocks(geom, kernel, gpu, options.representative_sm)
     assigned = len(blocks)
     if options.max_ctas is not None:
@@ -363,9 +402,9 @@ def _generate_sm_trace_loop(
 
     concurrency = kernel.ctas_per_sm(gpu)
     k_steps = geom.k_steps
-    templates = _CtaTemplates(geom, kernel.tile)
+    templates = _CtaTemplates(geom, gpu)
     plans_per_block = [
-        _plan_cta(geom, kernel, m, n, templates) for m, n in blocks
+        _plan_cta(geom, kernel, gpu, m, n, templates) for m, n in blocks
     ]
     mma_ops = sum(
         p.mma_per_step * k_steps for plans in plans_per_block for p in plans
@@ -373,7 +412,7 @@ def _generate_sm_trace_loop(
 
     kind_a = LOAD_A_SHARED if kernel.implicit else LOAD_A
     kind_b = LOAD_B_SHARED if kernel.implicit else LOAD_B
-    stage_steps = max(1, kernel.stage_k // kernel.tile)
+    stage_steps = max(1, kernel.stage_k // gpu.tile_k)
 
     builder = _TraceBuilder()
     runahead = max(1, kernel.warp_runahead)
@@ -399,7 +438,8 @@ def _generate_sm_trace_loop(
                             geom,
                             (m_blk * kernel.cta_tile_m,
                              (m_blk + 1) * kernel.cta_tile_m),
-                            (s0 * kernel.tile, s1 * kernel.tile),
+                            (s0 * gpu.tile_k, s1 * gpu.tile_k),
+                            gpu,
                         ),
                         wid,
                     )
@@ -409,16 +449,16 @@ def _generate_sm_trace_loop(
                         n_blk * kernel.cta_tile_n,
                         min((n_blk + 1) * kernel.cta_tile_n, geom.n),
                     )
-                    k_offsets = np.arange(s0, s1) * (kernel.tile * 2)
+                    k_offsets = np.arange(s0, s1) * gpu.frag_bytes
                     b_stage = (
                         FILTER_BASE
-                        + (n_cols[:, None] * (geom.ldb * 2)
+                        + (n_cols[:, None] * (geom.ldb * gpu.element_bytes)
                            + k_offsets[None, :]).ravel()
                     )
                     builder.emit(LOAD_B, b_stage, wid)
                     staged_through[turn.cta_index] = s1
             for t in range(turn.k_start, turn.k_end):
-                step = 32 * t
+                step = gpu.frag_bytes * t
                 builder.emit(
                     kind_a, plan.a_base + step, wid, plan.a_group, plan.a_instrs
                 )
@@ -471,10 +511,12 @@ class _WaveTemplates:
     start: np.ndarray  # int64 per-pair pool offset
     length: np.ndarray  # int64 per-pair pool length
     advance: np.ndarray  # int64 per-pair instruction advance per k-step
+    step_bytes: int = 32  # address advance per k-step (frag_bytes)
 
 
 def _wave_templates(
-    wave: List[List[_WarpPlan]], kind_a: int, kind_b: int
+    wave: List[List[_WarpPlan]], kind_a: int, kind_b: int,
+    step_bytes: int = 32,
 ) -> _WaveTemplates:
     addrs: List[np.ndarray] = []
     groups: List[np.ndarray] = []
@@ -507,6 +549,7 @@ def _wave_templates(
         start=np.asarray(start, dtype=np.int64),
         length=np.asarray(length, dtype=np.int64),
         advance=np.asarray(advance, dtype=np.int64),
+        step_bytes=step_bytes,
     )
 
 
@@ -590,7 +633,7 @@ def _uniform_span(
     pool = slice(p0, p0 + nq * pool_len)
     addr2 = tpl.addr[pool].reshape(nq, pool_len)
     group2 = tpl.group[pool].reshape(nq, pool_len)
-    step = 32 * np.arange(k0, k1, dtype=np.int64)
+    step = tpl.step_bytes * np.arange(k0, k1, dtype=np.int64)
     base2 = (
         next_instr + advance * np.arange(nq * nt, dtype=np.int64)
     ).reshape(nq, nt)
@@ -667,7 +710,7 @@ def _span_columns(
     if total == 0:
         return None, end_instr
     src_base = tpl.start[burst_q] - starts[:-1]
-    step = 32 * np.tile(np.arange(k0, k1, dtype=np.int64), nq)
+    step = tpl.step_bytes * np.tile(np.arange(k0, k1, dtype=np.int64), nq)
     wid = (wave_base + burst_q).astype(np.int32)
     instr_base = next_instr + ibase[:-1]
     boe = np.repeat(np.arange(nb, dtype=np.int64), lengths)
@@ -764,16 +807,17 @@ class TracePlan:
             self.geom,
             (m_blk * self.kernel.cta_tile_m,
              (m_blk + 1) * self.kernel.cta_tile_m),
-            (s0 * self.kernel.tile, s1 * self.kernel.tile),
+            (s0 * self.gpu.tile_k, s1 * self.gpu.tile_k),
+            self.gpu,
         )
         n_cols = np.arange(
             n_blk * self.kernel.cta_tile_n,
             min((n_blk + 1) * self.kernel.cta_tile_n, self.geom.n),
         )
-        k_offsets = np.arange(s0, s1) * (self.kernel.tile * 2)
+        k_offsets = np.arange(s0, s1) * self.gpu.frag_bytes
         b_stage = (
             FILTER_BASE
-            + (n_cols[:, None] * (self.geom.ldb * 2)
+            + (n_cols[:, None] * (self.geom.ldb * self.gpu.element_bytes)
                + k_offsets[None, :]).ravel()
         )
         bursts = [stage_input, b_stage]
@@ -821,7 +865,9 @@ class TracePlan:
         for wave_start, wave in zip(
             wave_starts, waves(self.plans_per_block, self.concurrency)
         ):
-            tpl = _wave_templates(wave, self.kind_a, self.kind_b)
+            tpl = _wave_templates(
+                wave, self.kind_a, self.kind_b, self.gpu.frag_bytes
+            )
             wave_base = wave_start * warps
             nw = len(wave)
             for k0 in range(0, k_steps, self.runahead):
@@ -943,7 +989,8 @@ def plan_sm_trace(
     (round-robin, ``max_ctas`` truncation), per-warp fragment
     templates, and the scalar meta fields.
     """
-    geom = gemm_geometry(spec, kernel.tile)
+    validate_arch(gpu, kernel)
+    geom = gemm_geometry(spec, gpu)
     blocks, total_ctas = sm_cta_blocks(
         geom, kernel, gpu, options.representative_sm
     )
@@ -951,9 +998,9 @@ def plan_sm_trace(
     if options.max_ctas is not None:
         blocks = blocks[: options.max_ctas]
     k_steps = geom.k_steps
-    templates = _CtaTemplates(geom, kernel.tile)
+    templates = _CtaTemplates(geom, gpu)
     plans_per_block = [
-        _plan_cta(geom, kernel, m, n, templates) for m, n in blocks
+        _plan_cta(geom, kernel, gpu, m, n, templates) for m, n in blocks
     ]
     mma_ops = sum(
         p.mma_per_step * k_steps for plans in plans_per_block for p in plans
@@ -971,7 +1018,7 @@ def plan_sm_trace(
         mma_ops=mma_ops,
         kind_a=LOAD_A_SHARED if kernel.implicit else LOAD_A,
         kind_b=LOAD_B_SHARED if kernel.implicit else LOAD_B,
-        stage_steps=max(1, kernel.stage_k // kernel.tile),
+        stage_steps=max(1, kernel.stage_k // gpu.tile_k),
         runahead=max(1, kernel.warp_runahead),
     )
 

@@ -32,7 +32,6 @@ from repro.core.lhb import LoadHistoryBuffer
 from repro.gpu.cache import SetAssociativeCache
 from repro.gpu.config import GPUConfig, SimulationOptions, TITAN_V
 from repro.gpu.isa import (
-    EVENT_BYTES,
     KernelTrace,
     LOAD_A,
     LOAD_A_SHARED,
@@ -60,9 +59,12 @@ def _load_ids(
     mode: EliminationMode,
     load_kind: np.ndarray,
     load_addr: np.ndarray,
+    gpu: GPUConfig = TITAN_V,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-load ``(consults_lhb, batch_id, element_id)`` arrays."""
-    return load_ids_for(spec, options, mode, load_kind, load_addr, trace.lda)
+    return load_ids_for(
+        spec, options, mode, load_kind, load_addr, trace.lda, gpu
+    )
 
 
 def load_ids_for(
@@ -72,6 +74,7 @@ def load_ids_for(
     load_kind: np.ndarray,
     load_addr: np.ndarray,
     lda: int,
+    gpu: GPUConfig = TITAN_V,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Trace-free twin of :func:`_load_ids`.
 
@@ -79,14 +82,15 @@ def load_ids_for(
     callers that never materialise a :class:`KernelTrace` — the
     analytic profiler — share the exact consult semantics of both
     replay paths (which ID generator, which loads consult, which
-    fall through untranslated).
+    fall through untranslated).  ``gpu`` supplies the fragment
+    geometry: the WIR element shift and the workspace element width.
     """
     is_a = (load_kind == LOAD_A) | (load_kind == LOAD_A_SHARED)
     if mode is EliminationMode.WIR:
         # Same-address reuse: the "ID" is just the fragment address,
         # for both A and B loads (WIR is oblivious to workspaces).
         consults = np.ones(len(load_addr), dtype=bool)
-        element = load_addr >> 5  # 32-byte fragment index
+        element = load_addr >> gpu.frag_shift  # fragment index
         batch = np.zeros(len(load_addr), dtype=np.int64)
         return consults, batch, element
     if mode is EliminationMode.BASELINE:
@@ -98,8 +102,10 @@ def load_ids_for(
         spec=spec,
         workspace_base=info.workspace_base,
         lda=info.lda,
+        element_bytes=gpu.element_bytes,
         mode=options.id_mode,
         merge_padding=options.merge_padding,
+        row_align=gpu.tile_m,
     )
     consults = np.zeros(len(load_addr), dtype=bool)
     batch = np.zeros(len(load_addr), dtype=np.int64)
@@ -130,7 +136,10 @@ def instruction_bases(trace: KernelTrace) -> np.ndarray:
 
 
 def workspace_unique_ids(
-    trace: KernelTrace, spec: ConvLayerSpec, options: SimulationOptions
+    trace: KernelTrace,
+    spec: ConvLayerSpec,
+    options: SimulationOptions,
+    gpu: GPUConfig = TITAN_V,
 ) -> Tuple[int, int]:
     """(lookups, distinct tags) across the trace's A loads.
 
@@ -149,8 +158,10 @@ def workspace_unique_ids(
         spec=spec,
         workspace_base=info.workspace_base,
         lda=info.lda,
+        element_bytes=gpu.element_bytes,
         mode=options.id_mode,
         merge_padding=options.merge_padding,
+        row_align=gpu.tile_m,
     )
     ok, batch, element = idgen.generate_for_addresses(trace.address[bases])
     keys = batch[ok] * (1 << 44) + element[ok]
@@ -163,6 +174,7 @@ def summarise_load_mix(
     spec: ConvLayerSpec,
     options: SimulationOptions,
     load_kind: np.ndarray,
+    gpu: GPUConfig = TITAN_V,
 ) -> Tuple[int, int, int, int, int, int]:
     """Load/store mix counters shared by the event and fast paths.
 
@@ -176,7 +188,7 @@ def summarise_load_mix(
     )
     loads_input = int((load_kind == LOAD_INPUT).sum())
     loads_b = len(load_kind) - loads_a - loads_input
-    ws_instrs, unique_ids = workspace_unique_ids(trace, spec, options)
+    ws_instrs, unique_ids = workspace_unique_ids(trace, spec, options, gpu)
     return stores, loads_a, loads_b, loads_input, ws_instrs, unique_ids
 
 
@@ -223,7 +235,7 @@ def replay_trace(
     load_kind = trace.kind[is_load]
     load_addr = trace.address[is_load]
     consults, batch, element = _load_ids(
-        trace, spec, options, mode, load_kind, load_addr
+        trace, spec, options, mode, load_kind, load_addr, gpu
     )
 
     # Hot loop inputs as plain Python lists (fastest CPython iteration).
@@ -295,7 +307,7 @@ def replay_trace(
                 dram_read_bytes += line_bytes
 
     stores, loads_a, loads_b, loads_input, ws_instrs, unique_ids = (
-        summarise_load_mix(trace, spec, options, load_kind)
+        summarise_load_mix(trace, spec, options, load_kind, gpu)
     )
 
     stats = LayerStats(
@@ -314,7 +326,7 @@ def replay_trace(
         l2_accesses=l2.stats.accesses,
         l2_hits=l2.stats.hits,
         dram_read_bytes=dram_read_bytes,
-        dram_write_bytes=stores * EVENT_BYTES[STORE_D],
+        dram_write_bytes=stores * gpu.store_frag_bytes,
         mma_ops=trace.mma_ops,
         breakdown=MemoryBreakdown(
             lhb=served_lhb,

@@ -44,13 +44,14 @@ class RegisterFileModel:
         """Warp registers a warp's in-flight A/B fragments occupy.
 
         Per k-step a warp holds its A and B tiles once per octet copy
-        (the dual-load doubles the footprint, Section II-B).
+        (the dual-load doubles the footprint, Section II-B).  The A
+        side carries ``tile_m`` fragments per tile, the B side
+        ``tile_n``; either way the rows held per warp equal the warp
+        tile edge, at ``frag_bytes`` each.
         """
-        tiles = self.kernel.warp_tiles_m + self.kernel.warp_tiles_n
-        frags = tiles * self.kernel.octet_duplication * 16
-        # 16 halfs = 32 bytes per fragment = a quarter warp register
-        # per thread lane... expressed directly: 512 B per tile copy.
-        bytes_per_step = frags * 32
+        rows = self.kernel.warp_tile_m + self.kernel.warp_tile_n
+        frags = rows * self.kernel.octet_duplication
+        bytes_per_step = frags * self.gpu.frag_bytes
         return runahead_steps * bytes_per_step // WARP_REGISTER_BYTES
 
     def duplication_overhead(self) -> float:
@@ -60,8 +61,8 @@ class RegisterFileModel:
 
     def fragment_write_energy_pj(self) -> float:
         """Energy to write one loaded fragment into the register file."""
-        return self.write_energy_pj * (32 / WARP_REGISTER_BYTES)
+        return self.write_energy_pj * (self.gpu.frag_bytes / WARP_REGISTER_BYTES)
 
     def fragment_read_energy_pj(self) -> float:
         """Energy for the MMA to read one fragment back."""
-        return self.read_energy_pj * (32 / WARP_REGISTER_BYTES)
+        return self.read_energy_pj * (self.gpu.frag_bytes / WARP_REGISTER_BYTES)

@@ -31,7 +31,9 @@ from typing import Dict, Tuple
 from repro.gpu.config import GPUConfig, TITAN_V
 from repro.gpu.stats import LayerStats
 
-#: MACs in one 16x16x16 wmma MMA operation.
+#: MACs in one 16x16x16 wmma MMA operation (the Volta default;
+#: :class:`TimingModel` uses ``gpu.mma_macs`` so narrower Turing /
+#: Ampere / Hopper fragment shapes price their own MMA size).
 MACS_PER_MMA = 4096
 
 #: Fraction of non-dominant resource time not hidden under the
@@ -61,14 +63,17 @@ class TimingModel:
     ) -> Dict[str, float]:
         """Per-resource cycle totals for one SM's share of the layer."""
         gpu = self.gpu
-        compute = stats.mma_ops * MACS_PER_MMA / gpu.macs_per_sm_cycle
+        compute = stats.mma_ops * gpu.mma_macs / gpu.macs_per_sm_cycle
 
         issued = stats.loads_total - stats.eliminated_fragments
-        fragment_cycles = 32.0 / gpu.bytes_per_ldst_cycle
+        fragment_cycles = gpu.frag_bytes / gpu.bytes_per_ldst_cycle
         # An eliminated warp-level load still spends one issue slot
-        # (renaming) per 16-fragment tile but moves no data.
+        # (renaming) per fragment tile (``tile_m`` fragments on the A
+        # side) but moves no data.
         ldst = issued * fragment_cycles
-        ldst += stats.eliminated_fragments * (gpu.eliminated_load_cycles / 16.0)
+        ldst += stats.eliminated_fragments * (
+            gpu.eliminated_load_cycles / gpu.tile_m
+        )
 
         l2_bytes = stats.l2_accesses * gpu.l2_line_bytes
         l2 = l2_bytes / gpu.l2_bytes_per_sm_cycle

@@ -282,9 +282,10 @@ def estimate_trace_events(point: SimPoint) -> int:
 
     Mirrors the kernel's emission arithmetic — per traced CTA, each
     warp issues ``octet_duplication`` A- and B-fragment load
-    instructions per *valid* owned tile per k-step (16 fragment events
-    each) plus one 16-event store row per valid output tile pair,
-    where tiles past the matrix edge are guarded off exactly as
+    instructions per *valid* owned tile per k-step (``tile_m``
+    fragment events per A tile, ``tile_n`` per B tile) plus one
+    ``tile_m``-event store block per valid output tile pair, where
+    tiles past the matrix edge are guarded off exactly as
     ``_plan_cta`` does — so for the explicit kernel this is not an
     estimate at all: it equals the traced event count.  Implicit mode
     adds staging fetches approximated at one input fragment per four
@@ -294,21 +295,21 @@ def estimate_trace_events(point: SimPoint) -> int:
     from repro.gpu.kernel import gemm_geometry, sm_cta_blocks
 
     k = point.kernel
-    geom = gemm_geometry(point.spec, k.tile)
+    gpu = point.gpu
+    geom = gemm_geometry(point.spec, gpu)
     blocks, _total = sm_cta_blocks(
-        geom, k, point.gpu, point.options.representative_sm
+        geom, k, gpu, point.options.representative_sm
     )
     if point.options.max_ctas is not None:
         blocks = blocks[: point.options.max_ctas]
-    k_steps = geom.k_pad // k.tile
-    frags = k.tile  # fragments per warp-level wmma instruction
+    k_steps = geom.k_pad // gpu.tile_k
     warps_n = k.cta_tile_n // k.warp_tile_n
 
-    def valid_tiles(origin: int, tiles: int, extent: int) -> int:
+    def valid_tiles(origin: int, tiles: int, extent: int, tile: int) -> int:
         """Owned tiles whose base index lies inside the matrix."""
         if origin >= extent:
             return 0
-        return min(tiles, -(-(extent - origin) // k.tile))
+        return min(tiles, -(-(extent - origin) // tile))
 
     events = 0
     for cta_m, cta_n in blocks:
@@ -316,10 +317,18 @@ def estimate_trace_events(point: SimPoint) -> int:
             wm, wn = divmod(w, warps_n)
             m0 = cta_m * k.cta_tile_m + wm * k.warp_tile_m
             n0 = cta_n * k.cta_tile_n + wn * k.warp_tile_n
-            a_tiles = valid_tiles(m0, k.warp_tiles_m, geom.m)
-            b_tiles = valid_tiles(n0, k.warp_tiles_n, geom.n)
-            loads = (a_tiles + b_tiles) * k.octet_duplication * frags * k_steps
-            events += loads + a_tiles * b_tiles * frags
+            a_tiles = valid_tiles(
+                m0, k.warp_tile_m // gpu.tile_m, geom.m, gpu.tile_m
+            )
+            b_tiles = valid_tiles(
+                n0, k.warp_tile_n // gpu.tile_n, geom.n, gpu.tile_n
+            )
+            loads = (
+                (a_tiles * gpu.tile_m + b_tiles * gpu.tile_n)
+                * k.octet_duplication
+                * k_steps
+            )
+            events += loads + a_tiles * b_tiles * gpu.tile_m
             if k.implicit:
                 events += loads // 4
     return events

@@ -22,14 +22,20 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from repro.conv.workloads import TABLE_I, get_layer
-from repro.gpu.config import SimulationOptions
+from repro.conv.workloads import WORKLOADS, get_layer
+from repro.gpu.config import (
+    ARCHS,
+    DEFAULT_ARCH,
+    SimulationOptions,
+    get_arch,
+)
 from repro.gpu.ldst import EliminationMode
 from repro.runtime.executor import SimPoint
 
 SCHEMA_VERSION = 1
 
-NETWORKS = tuple(sorted(TABLE_I))
+NETWORKS = tuple(sorted(WORKLOADS))
+ARCH_NAMES = tuple(sorted(ARCHS))
 MODES = tuple(m.value for m in EliminationMode)
 ENGINES = ("auto", "analytic", "fast", "event")
 FAST_PATHS = ("auto", "on", "off")
@@ -38,6 +44,7 @@ FAST_PATHS = ("auto", "on", "off")
 _FIELDS = (
     "network",
     "layer",
+    "arch",
     "mode",
     "lhb_entries",
     "lhb_assoc",
@@ -57,6 +64,7 @@ class Query:
 
     network: str
     layer: str
+    arch: str = DEFAULT_ARCH
     mode: str = "duplo"
     lhb_entries: Optional[int] = 1024  # None = the paper's oracle
     lhb_assoc: int = 1
@@ -126,6 +134,7 @@ def parse_query(payload: Any) -> Query:
     return Query(
         network=network,
         layer=layer,
+        arch=_require_choice(payload, "arch", DEFAULT_ARCH, ARCH_NAMES),
         mode=_require_choice(payload, "mode", "duplo", MODES),
         lhb_entries=entries,
         lhb_assoc=_require_int(payload, "lhb_assoc", 1, 1, none_ok=False),
@@ -136,12 +145,21 @@ def parse_query(payload: Any) -> Query:
 
 
 def query_point(query: Query) -> SimPoint:
-    """The :class:`SimPoint` this query resolves to (pure mapping)."""
+    """The :class:`SimPoint` this query resolves to (pure mapping).
+
+    The arch preset supplies the point's GPU model *and* kernel
+    tiling; both are frozen dataclasses serialised into the result
+    cache key, so two archs (or an arch and the analytic tier) can
+    never share a cache slot.
+    """
+    preset = get_arch(query.arch)
     return SimPoint(
         spec=get_layer(query.network, query.layer),
         mode=EliminationMode(query.mode),
         lhb_entries=query.lhb_entries,
         lhb_assoc=query.lhb_assoc,
+        gpu=preset.gpu,
+        kernel=preset.kernel,
         options=SimulationOptions(
             max_ctas=query.max_ctas,
             fast_path=query.fast_path,

@@ -86,3 +86,17 @@ def rng():
 def fast_options():
     """Simulation options capped for test speed."""
     return SimulationOptions(max_ctas=2)
+
+
+@pytest.fixture
+def arch_preset():
+    """The environment-selected architecture preset.
+
+    Resolves ``$REPRO_ARCH`` (default volta) via
+    :func:`repro.gpu.config.get_arch`; the CI arch-matrix lane re-runs
+    the not-slow suite with this pointed at each zoo entry, so tests
+    taking this fixture get exercised under every fragment geometry.
+    """
+    from repro.gpu.config import get_arch
+
+    return get_arch()

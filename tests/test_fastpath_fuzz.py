@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.conv.attention import gemm_layer
 from repro.core.lhb import LoadHistoryBuffer
 from repro.gpu.config import (
     BASELINE_KERNEL,
@@ -90,26 +91,44 @@ def lookup_streams(draw, max_len=160, max_pids=3):
 
 @st.composite
 def replay_cases(draw):
-    """Layer geometry x cache geometry x replay options for the full
-    end-to-end trace replay differential."""
-    h = draw(st.integers(2, 5))
-    w = draw(st.integers(2, 5))
-    pad = draw(st.integers(0, 2))
-    spec = make_spec(
-        name="fuzz",
-        batch=draw(st.integers(1, 2)),
-        h=h,
-        w=w,
-        c=draw(st.sampled_from([1, 2, 4])),
-        filters=draw(st.sampled_from([1, 4])),
-        kh=draw(st.integers(1, min(3, h + 2 * pad))),
-        kw=draw(st.integers(1, min(3, w + 2 * pad))),
-        pad=pad,
-        stride=draw(st.integers(1, 2)),
-    )
+    """Layer geometry x fragment geometry x cache geometry x replay
+    options for the full end-to-end trace replay differential.
+
+    The fragment axis draws the architecture zoo's shapes — non-square
+    tiles (Turing/Ampere's 16x8xK) and narrow INT8/FP8 operand widths
+    — and the layer axis mixes conv geometries with attention-style
+    GEMMs (the 1x1 identity embedding of ``repro.conv.attention``).
+    """
+    if draw(st.booleans()) and draw(st.booleans()):  # ~25% attention GEMM
+        spec = gemm_layer(
+            "fuzzgemm",
+            batch=draw(st.integers(1, 2)),
+            m=draw(st.sampled_from([3, 17, 33])),
+            n=draw(st.sampled_from([1, 8, 40])),
+            k=draw(st.sampled_from([2, 16, 24])),
+            network="fuzz",
+        )
+    else:
+        h = draw(st.integers(2, 5))
+        w = draw(st.integers(2, 5))
+        pad = draw(st.integers(0, 2))
+        spec = make_spec(
+            name="fuzz",
+            batch=draw(st.integers(1, 2)),
+            h=h,
+            w=w,
+            c=draw(st.sampled_from([1, 2, 4])),
+            filters=draw(st.sampled_from([1, 4])),
+            kh=draw(st.integers(1, min(3, h + 2 * pad))),
+            kw=draw(st.integers(1, min(3, w + 2 * pad))),
+            pad=pad,
+            stride=draw(st.integers(1, 2)),
+        )
     line = draw(st.sampled_from([32, 128]))
     l1_assoc = draw(st.sampled_from([1, 2, 4]))
     l2_assoc = draw(st.sampled_from([2, 8]))
+    # Fragment geometry: every edge must divide the 32x32 warp tile
+    # and tile_k the 64-deep stage; all pow2 draws satisfy both.
     gpu = GPUConfig(
         num_sms=1,
         l1_bytes=line * l1_assoc * draw(st.sampled_from([2, 8, 32])),
@@ -118,6 +137,10 @@ def replay_cases(draw):
         l2_bytes=line * l2_assoc * draw(st.sampled_from([8, 64])),
         l2_assoc=l2_assoc,
         l2_line_bytes=line,
+        tile_m=draw(st.sampled_from([8, 16, 32])),
+        tile_n=draw(st.sampled_from([8, 16, 32])),
+        tile_k=draw(st.sampled_from([8, 16, 32])),
+        element_bytes=draw(st.sampled_from([1, 2])),
     )
     options = SimulationOptions(
         max_ctas=1,

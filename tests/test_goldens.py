@@ -2,7 +2,9 @@
 
 ``tests/goldens/*.json`` pins the exact rows of ``figure9`` /
 ``figure10`` / ``figure12`` / ``table2`` / ``multikernel`` on a fixed
-three-layer subset at ``max_ctas=2``.  Tolerances are tight (relative
+three-layer subset at ``max_ctas=2``, plus one ``arch_<preset>``
+fixture per architecture-zoo entry (conv + attention layers under
+duplo and wir).  Tolerances are tight (relative
 1e-9) — the point is to catch refactors that *silently* shift
 reported numbers, not to allow drift: the figure12 fixture pins the
 offline per-set LRU resolution, the multikernel fixture the
@@ -21,7 +23,7 @@ import pytest
 
 from repro.analysis import experiments
 from repro.conv.workloads import get_layer
-from repro.gpu.config import SimulationOptions
+from repro.gpu.config import ARCHS, SimulationOptions
 from repro.gpu.simulator import clear_trace_cache
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
@@ -104,6 +106,47 @@ def test_multikernel_rows_pinned():
     interleave or the PID-folded recurrence."""
     exp = experiments.multikernel_sharing(_layers(), options=GOLDEN_OPTIONS)
     assert_experiment_matches(exp, _load("multikernel"))
+
+
+ARCH_GOLDEN_LAYERS = GOLDEN_LAYERS + [("attention", "QK")]
+
+
+@pytest.fixture(scope="module")
+def arch_zoo_experiment():
+    """One arch_zoo run shared by every per-preset drift check (the
+    sweep covers all presets in a single pass)."""
+    clear_trace_cache()
+    layers = [get_layer(net, name) for net, name in ARCH_GOLDEN_LAYERS]
+    return experiments.arch_zoo(layers, options=GOLDEN_OPTIONS)
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHS))
+def test_arch_zoo_rows_pinned(arch, arch_zoo_experiment):
+    """Every preset x {duplo, wir} x {conv, attention} is pinned: a
+    change to fragment geometry, idgen shifts, or the per-arch area
+    accounting shows up as a golden diff on its own arch_* fixture."""
+    golden = _load(f"arch_{arch}")
+    assert golden["config"]["arch"] == arch
+    assert golden["config"]["layers"] == [
+        "/".join(p) for p in ARCH_GOLDEN_LAYERS
+    ]
+    assert golden["config"]["max_ctas"] == GOLDEN_OPTIONS.max_ctas
+    rows = [r for r in arch_zoo_experiment.rows if r["arch"] == arch]
+    summary = {
+        k: v
+        for k, v in arch_zoo_experiment.summary.items()
+        if k.endswith(f"_{arch}")
+    }
+    # Two modes per layer, and the preset's own summary slice.
+    assert len(rows) == 2 * len(ARCH_GOLDEN_LAYERS)
+    assert len(golden["rows"]) == len(rows)
+    for i, (row, want) in enumerate(zip(rows, golden["rows"])):
+        assert set(row) == set(want), f"row {i} columns"
+        for key, expected in want.items():
+            assert_value_matches(row[key], expected, f"{arch} row {i} [{key}]")
+    assert set(summary) == set(golden["summary"])
+    for key, expected in golden["summary"].items():
+        assert_value_matches(summary[key], expected, f"{arch} [{key}]")
 
 
 def test_analytic_predictions_pinned():

@@ -27,6 +27,7 @@ import urllib.request
 import pytest
 
 from repro import obs
+from repro.gpu.config import ARCHS
 from repro.gpu.simulator import clear_trace_cache
 from repro.runtime import DiskCache
 from repro.runtime.executor import simulate_point
@@ -87,6 +88,8 @@ def _reference(body):
     (dict(BODY, max_ctas=0), "'max_ctas'"),
     (dict(BODY, engine="warp"), "'engine'"),
     (dict(BODY, fast_path="maybe"), "'fast_path'"),
+    (dict(BODY, arch="kepler"), "'arch'"),
+    (dict(BODY, arch=1), "'arch'"),
     (dict(BODY, frobnicate=1), "unknown field"),
 ])
 def test_schema_rejects(body, fragment):
@@ -111,6 +114,20 @@ def test_query_point_round_trip():
     assert p.options.max_ctas == 1
 
 
+def test_arch_selects_preset_machine():
+    q = parse_query(dict(BODY, arch="ampere-int8"))
+    p = query_point(q)
+    assert p.gpu == ARCHS["ampere-int8"].gpu
+    assert p.kernel == ARCHS["ampere-int8"].kernel
+    # Default body simulates the Volta preset.
+    assert query_point(parse_query(BODY)).gpu.name == "volta"
+
+
+def test_attention_network_servable():
+    q = parse_query({"network": "attention", "layer": "QK", "max_ctas": 1})
+    assert query_point(q).spec.qualified_name == "attention/QK"
+
+
 # ----------------------------------------------------------------------
 # Service: bit-identity and coalescing
 # ----------------------------------------------------------------------
@@ -121,9 +138,19 @@ def test_served_payload_bit_identical(service):
         dict(BODY, engine="analytic"),
         dict(BODY, mode="baseline"),
         dict(BODY, lhb_entries=None, lhb_assoc=4),
+        dict(BODY, arch="turing"),
     ):
         served = json.loads(json.dumps(service.query(body)))
         assert served == _reference(body)
+
+
+def test_arch_echoed_verbatim_and_changes_the_answer(service):
+    volta = service.query(BODY)
+    turing = service.query(dict(BODY, arch="turing"))
+    assert volta["query"]["arch"] == "volta"
+    assert turing["query"]["arch"] == "turing"
+    # Different fragment geometry -> different measured traffic.
+    assert turing["stats"] != volta["stats"]
 
 
 def test_query_validation_errors_counted(service):
@@ -190,6 +217,28 @@ def test_analytic_and_exact_never_share_a_slot():
     # ...so the coalescing key must re-introduce the tier.
     assert QueryService._coalesce_key(exact) != (
         QueryService._coalesce_key(analytic)
+    )
+
+
+def test_archs_never_share_a_slot():
+    """Unlike the engine tiers, two archs differ in *result*: both the
+    result cache key and the coalescing key must separate them — for
+    every preset pair, and regardless of tier."""
+    points = {
+        name: query_point(parse_query(dict(BODY, arch=name)))
+        for name in ARCHS
+    }
+    cache_keys = {p.cache_key() for p in points.values()}
+    coalesce_keys = {QueryService._coalesce_key(p) for p in points.values()}
+    assert len(cache_keys) == len(ARCHS)
+    assert len(coalesce_keys) == len(ARCHS)
+    # The analytic tier of one arch must not collide with the exact
+    # tier of another.
+    analytic = query_point(
+        parse_query(dict(BODY, arch="ampere", engine="analytic"))
+    )
+    assert QueryService._coalesce_key(analytic) != (
+        QueryService._coalesce_key(points["volta"])
     )
 
 
@@ -406,6 +455,9 @@ def test_http_query_and_errors(server):
     assert status == 200
     assert payload == _reference(BODY)
     assert _http(base + "/query", dict(BODY, frob=1))[0] == 400
+    status, err = _http(base + "/query", dict(BODY, arch="kepler"))
+    assert status == 400
+    assert "arch" in err["error"]
     assert _http(base + "/nope")[0] == 404
     assert _http(base + "/jobs/job-424242")[0] == 404
 

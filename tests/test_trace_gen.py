@@ -26,6 +26,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import obs
+from repro.conv.attention import gemm_layer
 from repro.core.lhb import LoadHistoryBuffer
 from repro.gpu.config import (
     BASELINE_KERNEL,
@@ -65,33 +66,60 @@ def _no_generator_env(monkeypatch):
 
 @st.composite
 def gen_cases(draw):
-    """Layer geometry x kernel tiling x trace options."""
-    h = draw(st.integers(2, 6))
-    w = draw(st.integers(2, 6))
-    pad = draw(st.integers(0, 2))
-    spec = make_spec(
-        name="genfuzz",
-        batch=draw(st.integers(1, 2)),
-        h=h,
-        w=w,
-        c=draw(st.sampled_from([1, 2, 4, 8])),
-        filters=draw(st.sampled_from([1, 4, 16])),
-        kh=draw(st.integers(1, min(3, h + 2 * pad))),
-        kw=draw(st.integers(1, min(3, w + 2 * pad))),
-        pad=pad,
-        stride=draw(st.integers(1, 2)),
+    """Layer geometry x fragment geometry x kernel tiling x options.
+
+    The fragment axis mirrors the architecture zoo: non-square wmma
+    tiles and INT8/FP8 operand widths; the layer axis mixes conv
+    geometries with attention-style GEMMs (1x1 identity embedding).
+    """
+    if draw(st.booleans()) and draw(st.booleans()):  # ~25% attention GEMM
+        spec = gemm_layer(
+            "genfuzzgemm",
+            batch=draw(st.integers(1, 2)),
+            m=draw(st.sampled_from([5, 19, 40])),
+            n=draw(st.sampled_from([1, 16, 33])),
+            k=draw(st.sampled_from([4, 24, 48])),
+            network="genfuzz",
+        )
+    else:
+        h = draw(st.integers(2, 6))
+        w = draw(st.integers(2, 6))
+        pad = draw(st.integers(0, 2))
+        spec = make_spec(
+            name="genfuzz",
+            batch=draw(st.integers(1, 2)),
+            h=h,
+            w=w,
+            c=draw(st.sampled_from([1, 2, 4, 8])),
+            filters=draw(st.sampled_from([1, 4, 16])),
+            kh=draw(st.integers(1, min(3, h + 2 * pad))),
+            kw=draw(st.integers(1, min(3, w + 2 * pad))),
+            pad=pad,
+            stride=draw(st.integers(1, 2)),
+        )
+    tile_k = draw(st.sampled_from([8, 16, 32]))
+    gpu = dataclasses.replace(
+        TITAN_V,
+        tile_m=draw(st.sampled_from([8, 16, 32])),
+        tile_n=draw(st.sampled_from([8, 16, 32])),
+        tile_k=tile_k,
+        element_bytes=draw(st.sampled_from([1, 2])),
     )
     base = IMPLICIT_KERNEL if draw(st.booleans()) else BASELINE_KERNEL
     kernel = dataclasses.replace(
         base,
         warp_runahead=draw(st.sampled_from([1, 2, 3, 7, 32])),
-        stage_k=draw(st.sampled_from([16, 32, 64])),
+        # Must decompose into both the legacy 16-wide wmma tile and
+        # the drawn tile_k (validate_arch's stage constraint).
+        stage_k=draw(
+            st.sampled_from([s for s in (16, 32, 64) if s % tile_k == 0])
+        ),
     )
     options = SimulationOptions(
         max_ctas=draw(st.sampled_from([None, 0, 1, 2, 5])),
         representative_sm=draw(st.sampled_from([0, 1])),
     )
-    return spec, kernel, options
+    return spec, gpu, kernel, options
 
 
 def _columns_equal(a, b, context):
@@ -107,12 +135,12 @@ def _columns_equal(a, b, context):
 # Vectorised synthesizer vs legacy event loop
 # ----------------------------------------------------------------------
 
-def _legacy_loop_trace(spec, kernel, options):
+def _legacy_loop_trace(spec, gpu, kernel, options):
     """Generate via the legacy event loop (hypothesis forbids the
     function-scoped monkeypatch fixture, so the env flip is inline)."""
     os.environ[TRACE_GEN_ENV] = "loop"
     try:
-        return generate_sm_trace(spec, TITAN_V, kernel, options)
+        return generate_sm_trace(spec, gpu, kernel, options)
     finally:
         del os.environ[TRACE_GEN_ENV]
 
@@ -121,12 +149,12 @@ def _legacy_loop_trace(spec, kernel, options):
 @given(case=gen_cases())
 def test_vectorized_matches_legacy_loop(case):
     """The tentpole bit-identity claim, fuzzed: same columns, same
-    scalar meta, for explicit and implicit kernels, any run-ahead,
-    any ``max_ctas`` truncation."""
-    spec, kernel, options = case
-    vec = generate_sm_trace(spec, TITAN_V, kernel, options)
-    loop = _legacy_loop_trace(spec, kernel, options)
-    _columns_equal(vec, loop, (spec.name, kernel, options))
+    scalar meta, for explicit and implicit kernels, any fragment
+    geometry, any run-ahead, any ``max_ctas`` truncation."""
+    spec, gpu, kernel, options = case
+    vec = generate_sm_trace(spec, gpu, kernel, options)
+    loop = _legacy_loop_trace(spec, gpu, kernel, options)
+    _columns_equal(vec, loop, (spec.name, gpu, kernel, options))
 
 
 @settings(max_examples=MAX_EXAMPLES, deadline=None)
@@ -135,12 +163,12 @@ def test_block_streaming_is_boundary_invariant(case, block):
     """Concatenating ``iter_trace_blocks`` output reproduces the
     single-shot trace for any block budget, and the closed-form
     ``event_count`` prices it exactly."""
-    spec, kernel, options = case
-    full = generate_sm_trace(spec, TITAN_V, kernel, options)
-    plan = plan_sm_trace(spec, TITAN_V, kernel, options)
+    spec, gpu, kernel, options = case
+    full = generate_sm_trace(spec, gpu, kernel, options)
+    plan = plan_sm_trace(spec, gpu, kernel, options)
     assert plan.event_count() == len(full)
     blocks = list(
-        iter_trace_blocks(spec, TITAN_V, kernel, options, block_events=block)
+        iter_trace_blocks(spec, gpu, kernel, options, block_events=block)
     )
     assert all(len(b) for b in blocks)
     if blocks:
@@ -164,22 +192,22 @@ def test_block_streaming_is_boundary_invariant(case, block):
 def test_streaming_replay_matches_in_memory(case, block, mode):
     """``replay_blocks_fast`` over streamed blocks equals the
     in-memory replay on every LayerStats counter."""
-    spec, kernel, options = case
-    trace = generate_sm_trace(spec, TITAN_V, kernel, options)
-    plan = plan_sm_trace(spec, TITAN_V, kernel, options)
+    spec, gpu, kernel, options = case
+    trace = generate_sm_trace(spec, gpu, kernel, options)
+    plan = plan_sm_trace(spec, gpu, kernel, options)
 
     def lhb():
         if mode is EliminationMode.BASELINE:
             return None
         return LoadHistoryBuffer(num_entries=64, assoc=4, lifetime=128)
 
-    ref = replay_trace_fast(trace, spec, TITAN_V, options, mode, lhb())
+    ref = replay_trace_fast(trace, spec, gpu, options, mode, lhb())
     got = replay_blocks_fast(
-        plan.iter_blocks(block), plan.meta(), spec, TITAN_V, options,
+        plan.iter_blocks(block), plan.meta(), spec, gpu, options,
         mode, lhb(),
     )
     assert dataclasses.asdict(got) == dataclasses.asdict(ref), (
-        spec.name, kernel, options, block, mode
+        spec.name, gpu, kernel, options, block, mode
     )
 
 

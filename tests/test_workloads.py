@@ -1,13 +1,15 @@
-"""Table I transcription checks: the paper's exact layer set."""
+"""Table I transcription checks plus the workload-registry contract."""
 
 import pytest
 
+from repro.conv.attention import ATTENTION_LAYERS, attention_layers, gemm_layer
 from repro.conv.workloads import (
     ALL_LAYERS,
     DEFAULT_BATCH,
     GAN_LAYERS,
     RESNET_LAYERS,
     TABLE_I,
+    WORKLOADS,
     YOLO_LAYERS,
     get_layer,
     layers_for_network,
@@ -31,10 +33,20 @@ class TestTableStructure:
         assert all(layer.batch == DEFAULT_BATCH for layer in ALL_LAYERS)
 
     def test_networks_ordering(self):
-        assert tuple(networks()) == ("resnet", "gan", "yolo")
+        # Table I networks first (figure order), registry additions after.
+        assert tuple(networks()) == ("resnet", "gan", "yolo", "attention")
+
+    def test_table1_is_exactly_the_paper(self):
+        # WORKLOADS may grow; TABLE_I must stay the paper's table.
+        assert tuple(TABLE_I) == ("resnet", "gan", "yolo")
+        assert "attention" not in TABLE_I
 
     def test_unique_qualified_names(self):
-        names = [layer.qualified_name for layer in ALL_LAYERS]
+        names = [
+            layer.qualified_name
+            for layers in WORKLOADS.values()
+            for layer in layers
+        ]
         assert len(set(names)) == len(names)
 
 
@@ -112,3 +124,46 @@ class TestLookups:
     def test_filter_channels_match_input(self):
         for layer in ALL_LAYERS:
             assert layer.filter_nhwc[3] == layer.in_channels
+
+
+class TestAttentionWorkload:
+    """The transformer GEMM block rides the registry natively."""
+
+    def test_registered(self):
+        assert WORKLOADS["attention"] is ATTENTION_LAYERS
+        assert [s.name for s in ATTENTION_LAYERS] == ["QKV", "QK", "PV", "OUT"]
+
+    def test_gemm_layer_is_identity_embedding(self):
+        spec = gemm_layer("X", batch=2, m=48, n=96, k=64)
+        g = spec.gemm_shape
+        assert (g.m, g.n, g.k) == (2 * 48, 96, 64)
+        # 1x1/stride-1/pad-0: im2col workspace == activation matrix.
+        assert spec.duplication_factor == 1.0
+
+    def test_bert_base_shapes(self):
+        by_name = {s.name: s.gemm_shape for s in ATTENTION_LAYERS}
+        # batch 8, seq 128, d_model 768, 12 heads x 64.
+        assert (by_name["QKV"].m, by_name["QKV"].n, by_name["QKV"].k) == (
+            8 * 128, 3 * 768, 768,
+        )
+        assert (by_name["QK"].m, by_name["QK"].n, by_name["QK"].k) == (
+            8 * 12 * 128, 128, 64,
+        )
+        assert (by_name["PV"].m, by_name["PV"].n, by_name["PV"].k) == (
+            8 * 12 * 128, 64, 128,
+        )
+        assert (by_name["OUT"].m, by_name["OUT"].n, by_name["OUT"].k) == (
+            8 * 128, 768, 768,
+        )
+
+    def test_lookup_through_registry_helpers(self):
+        assert get_layer("attention", "QK").network == "attention"
+        assert len(layers_for_network("attention")) == 4
+
+    def test_head_split_validated(self):
+        with pytest.raises(ValueError, match="divisible"):
+            attention_layers(d_model=768, heads=7)
+
+    def test_bad_gemm_dims_rejected(self):
+        with pytest.raises(ValueError, match="dims"):
+            gemm_layer("bad", batch=1, m=0, n=16, k=16)
